@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test vet bench sweep report examples clean
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# One scaled-down benchmark per paper table/figure, plus ablations.
+bench:
+	go test -bench . -benchtime 1x .
+
+# Regenerate every table and figure at full fidelity (~10 minutes).
+sweep:
+	go run ./cmd/runahead-sweep -uops 150000 -out sweep_results.txt
+
+# Paper-claim verdict table.
+report:
+	go run ./cmd/runahead-report
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/mcf_pointer_chase
+	go run ./examples/prefetcher_interaction
+	go run ./examples/energy_tradeoff
+
+clean:
+	rm -f sweep_results.txt test_output.txt bench_output.txt

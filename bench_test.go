@@ -1,0 +1,240 @@
+package runaheadsim
+
+// This file is the `go test -bench` entry point for regenerating the paper's
+// artifacts: one benchmark per table and figure, plus ablation benches for
+// the design choices DESIGN.md calls out, and a simulator-throughput bench.
+//
+// Each figure bench runs the same harness cmd/runahead-sweep uses, scaled
+// down (a representative benchmark subset, small instruction budgets) so the
+// whole suite completes in minutes; the rendered table is logged, and a key
+// aggregate is reported as a custom metric. For full-fidelity regeneration
+// run:
+//
+//	go run ./cmd/runahead-sweep -uops 300000
+//
+// EXPERIMENTS.md records a full run against the paper's numbers.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/harness"
+	"runaheadsim/internal/stats"
+	"runaheadsim/internal/workload"
+)
+
+// benchSubset is a representative slice of the suite: two low, one medium,
+// and four high-intensity benchmarks covering all kernel families.
+var benchSubset = []string{"calculix", "gobmk", "zeusmp", "omnetpp", "sphinx3", "libquantum", "mcf"}
+
+const benchUops = 30_000
+
+func newBenchRunner() *harness.Runner {
+	return harness.NewRunner(harness.Options{
+		MeasureUops: benchUops,
+		WarmupUops:  benchUops,
+		Benchmarks:  benchSubset,
+	})
+}
+
+// lastCell parses the numeric value out of the final cell of a table row
+// (strips "%" suffixes).
+func lastCell(t harness.Table, row int) float64 {
+	cells := t.Rows[row]
+	s := strings.TrimSuffix(cells[len(cells)-1], "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func renderTable(t harness.Table) string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// benchExperiment regenerates one artifact per iteration and logs it once.
+func benchExperiment(b *testing.B, id string, metric func(harness.Table) (string, float64)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		for _, e := range harness.Experiments() {
+			if e.ID != id {
+				continue
+			}
+			t := e.Build(r)
+			if i == 0 {
+				b.Log("\n" + renderTable(t))
+				if metric != nil {
+					name, v := metric(t)
+					b.ReportMetric(v, name)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B) { benchExperiment(b, "table1", nil) }
+func BenchmarkTable2MPKI(b *testing.B)   { benchExperiment(b, "table2", nil) }
+
+func BenchmarkFigure1StallCycles(b *testing.B) {
+	benchExperiment(b, "figure1", func(t harness.Table) (string, float64) {
+		// Stall percentage of the most memory-bound benchmark in the subset.
+		return "mcf-stall-%", lastCellOf(t, "mcf", 1)
+	})
+}
+
+func BenchmarkFigure2SourceData(b *testing.B)      { benchExperiment(b, "figure2", nil) }
+func BenchmarkFigure3ChainOps(b *testing.B)        { benchExperiment(b, "figure3", nil) }
+func BenchmarkFigure4ChainRepetition(b *testing.B) { benchExperiment(b, "figure4", nil) }
+func BenchmarkFigure5ChainLength(b *testing.B)     { benchExperiment(b, "figure5", nil) }
+
+func BenchmarkFigure9Performance(b *testing.B) {
+	benchExperiment(b, "figure9", func(t harness.Table) (string, float64) {
+		return "hybrid-gmean-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure10MLP(b *testing.B) {
+	benchExperiment(b, "figure10", func(t harness.Table) (string, float64) {
+		// Mean runahead-buffer misses per interval (column RB of the Mean row).
+		s := strings.TrimSuffix(t.Rows[len(t.Rows)-1][2], "%")
+		v, _ := strconv.ParseFloat(s, 64)
+		return "buffer-misses/interval", v
+	})
+}
+
+func BenchmarkFigure11BufferCycles(b *testing.B) {
+	benchExperiment(b, "figure11", func(t harness.Table) (string, float64) {
+		return "buffer-cycles-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure12ChainCacheHits(b *testing.B) {
+	benchExperiment(b, "figure12", func(t harness.Table) (string, float64) {
+		return "chain-cache-hit-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure13ChainMatch(b *testing.B) { benchExperiment(b, "figure13", nil) }
+
+func BenchmarkFigure14HybridSplit(b *testing.B) {
+	benchExperiment(b, "figure14", func(t harness.Table) (string, float64) {
+		return "hybrid-buffer-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure15PrefetchPerf(b *testing.B) {
+	benchExperiment(b, "figure15", func(t harness.Table) (string, float64) {
+		return "hybrid+pf-gmean-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure16Traffic(b *testing.B) {
+	benchExperiment(b, "figure16", func(t harness.Table) (string, float64) {
+		return "pf-traffic-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure17Energy(b *testing.B) {
+	benchExperiment(b, "figure17", func(t harness.Table) (string, float64) {
+		return "hybrid-energy-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+func BenchmarkFigure18EnergyPF(b *testing.B) {
+	benchExperiment(b, "figure18", func(t harness.Table) (string, float64) {
+		return "hybrid+pf-energy-%", lastCell(t, len(t.Rows)-1)
+	})
+}
+
+// lastCellOf finds the row labelled name and parses column col.
+func lastCellOf(t harness.Table, name string, col int) float64 {
+	for _, row := range t.Rows {
+		if row[0] == name {
+			v, _ := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			return v
+		}
+	}
+	return 0
+}
+
+// BenchmarkAlg1ChainGen measures dependence-chain generation in isolation:
+// the IPC of the pure buffer system on the Figure 7-style workload, where
+// every interval exercises Algorithm 1 or the chain cache.
+func BenchmarkAlg1ChainGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.ModeBuffer
+		c := core.New(cfg, workload.MustLoad("mcf"))
+		st := c.Run(benchUops)
+		if i == 0 {
+			b.ReportMetric(float64(st.ChainsGenerated), "chains")
+			b.ReportMetric(stats.Ratio(uint64(st.ChainGenCycles), st.ChainsGenerated), "cycles/chain")
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// ablate runs mcf under the buffer+chain-cache system with a modified
+// configuration and reports the IPC delta vs the Table 1 configuration.
+func ablate(b *testing.B, mutate func(*core.Config)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		run := func(mut bool) float64 {
+			cfg := core.DefaultConfig()
+			cfg.Mode = core.ModeBufferCC
+			if mut {
+				mutate(&cfg)
+			}
+			c := core.New(cfg, workload.MustLoad("mcf"))
+			c.Run(benchUops)
+			c.ResetStats()
+			return c.Run(benchUops).IPC()
+		}
+		baseIPC, mutIPC := run(false), run(true)
+		if i == 0 {
+			b.ReportMetric(100*(mutIPC/baseIPC-1), "ipc-delta-%")
+		}
+	}
+}
+
+// BenchmarkAblationChainLength16 halves the 32-uop chain cap (Section 5's
+// sensitivity analysis picked 32).
+func BenchmarkAblationChainLength16(b *testing.B) {
+	ablate(b, func(c *core.Config) { c.MaxChainLength = 16; c.RunaheadBufferSize = 16 })
+}
+
+// BenchmarkAblationChainCache8 grows the deliberately small 2-entry chain
+// cache (Section 4.4 argues small is better, so stale chains age out).
+func BenchmarkAblationChainCache8(b *testing.B) {
+	ablate(b, func(c *core.Config) { c.ChainCacheEntries = 8 })
+}
+
+// BenchmarkAblationNoChainCache removes the chain cache entirely (the
+// "Runahead Buffer" bar of Figure 9).
+func BenchmarkAblationNoChainCache(b *testing.B) {
+	ablate(b, func(c *core.Config) { c.Mode = core.ModeBuffer })
+}
+
+// BenchmarkAblationSlowRegSearch halves the dependence-chain generation
+// bandwidth (one destination-CAM search per cycle instead of two).
+func BenchmarkAblationSlowRegSearch(b *testing.B) {
+	ablate(b, func(c *core.Config) { c.RegSearchesPerCycle = 1 })
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeHybrid
+	p := workload.MustLoad("mcf")
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		c := core.New(cfg, p)
+		committed += c.Run(50_000).Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "uops/s")
+}

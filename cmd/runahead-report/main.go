@@ -1,0 +1,34 @@
+// Command runahead-report evaluates every headline quantitative claim of
+// the paper against this reproduction and prints a verdict table: paper
+// value, measured value, and whether the shape (sign, rough magnitude,
+// ordering) reproduces.
+//
+//	runahead-report
+//	runahead-report -uops 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"runaheadsim/internal/harness"
+)
+
+func main() {
+	var (
+		uops  = flag.Uint64("uops", 150_000, "measured micro-ops per run")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := harness.Options{MeasureUops: *uops}
+	if !*quiet {
+		opts.Progress = func(bench, config string) {
+			fmt.Fprintf(os.Stderr, "running %-12s %s\n", bench, config)
+		}
+	}
+	r := harness.NewRunner(opts)
+	t := harness.Report(r)
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,195 @@
+// Command runahead-sim runs one benchmark under one runahead configuration
+// and prints the headline metrics (plus, optionally, every raw counter).
+//
+// Examples:
+//
+//	runahead-sim -bench mcf -mode hybrid
+//	runahead-sim -bench sphinx3 -mode runahead-buffer+cc -pf -uops 300000
+//	runahead-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"runaheadsim"
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/prog"
+	"runaheadsim/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "mcf", "benchmark name (see -list)")
+		mode   = flag.String("mode", "baseline", "baseline | runahead | runahead-buffer | runahead-buffer+cc | hybrid")
+		pf     = flag.Bool("pf", false, "enable the stream prefetcher")
+		pfkind = flag.String("pfkind", "stream", "prefetch engine: stream | delta (with -pf and -trace only)")
+		enh    = flag.Bool("enh", false, "enable the runahead efficiency enhancements")
+		uops   = flag.Uint64("uops", 150_000, "measured micro-ops")
+		warmup = flag.Uint64("warmup", 0, "warmup micro-ops (0 = automatic)")
+		dump   = flag.Bool("stats", false, "dump raw counters")
+		chains = flag.Bool("dumpchains", false, "print the dependence chains left in the chain cache")
+		trace  = flag.Int64("trace", 0, "emit a cycle-by-cycle pipeline trace for the first N cycles")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+		all    = flag.Bool("all-modes", false, "run every runahead mode on the benchmark and print a comparison")
+		pipe   = flag.Bool("pipeline", false, "print the Figure 6 pipeline diagram and exit")
+		disasm = flag.Bool("disasm", false, "print the benchmark's program listing and exit")
+		showEn = flag.Bool("energy", false, "print the energy breakdown by component")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range runaheadsim.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *pipe {
+		fmt.Print(pipelineDiagram)
+		return
+	}
+
+	if *all {
+		compareModes(*bench, *pf, *uops, *warmup)
+		return
+	}
+
+	if *disasm {
+		p, err := workload.Load(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(prog.Disasm(p))
+		return
+	}
+
+	if *trace > 0 {
+		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, *trace)
+		return
+	}
+
+	res, err := runaheadsim.Run(runaheadsim.Config{
+		Benchmark:    *bench,
+		Mode:         runaheadsim.Mode(*mode),
+		Prefetcher:   *pf,
+		Enhancements: *enh,
+		MeasureUops:  *uops,
+		WarmupUops:   *warmup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark          %s\n", res.Benchmark)
+	fmt.Printf("mode               %s (prefetcher=%v)\n", res.Mode, *pf)
+	fmt.Printf("committed uops     %d in %d cycles\n", res.Committed, res.Cycles)
+	fmt.Printf("IPC                %.3f (%+.1f%% vs no-PF baseline)\n", res.IPC, res.IPCDeltaPct)
+	fmt.Printf("MPKI               %.1f\n", res.MPKI)
+	fmt.Printf("memory stall       %.1f%% of cycles\n", res.MemStallPct)
+	fmt.Printf("energy             %.1f uJ (%+.1f%% vs baseline)\n", res.EnergyUJ, res.EnergyDeltaPct)
+	fmt.Printf("DRAM requests      %d (%+.1f%% vs baseline)\n", res.DRAMRequests, res.TrafficDeltaPct)
+	if res.RunaheadIntervals > 0 {
+		fmt.Printf("runahead           %d intervals, %.1f misses/interval\n",
+			res.RunaheadIntervals, res.MissesPerInterval)
+		if res.RunaheadBufferCycles > 0 {
+			fmt.Printf("buffer cycles      %d (%.1f%% of run)\n", res.RunaheadBufferCycles,
+				100*float64(res.RunaheadBufferCycles)/float64(res.Cycles))
+		}
+		if res.ChainCacheHitRate > 0 {
+			fmt.Printf("chain cache        %.1f%% hit rate\n", 100*res.ChainCacheHitRate)
+		}
+	}
+	if *showEn {
+		fmt.Println()
+		for _, comp := range res.EnergyBreakdown.Components() {
+			fmt.Printf("energy %-28s %10.2f uJ (%4.1f%%)\n", comp.Name, comp.UJ, 100*comp.UJ/res.EnergyUJ)
+		}
+	}
+	if *chains {
+		for _, ch := range res.Chains {
+			fmt.Printf("\n%s", ch)
+		}
+		if len(res.Chains) == 0 {
+			fmt.Println("\n(no chains cached; use a runahead-buffer mode)")
+		}
+	}
+	if *dump {
+		fmt.Printf("\nraw stats: %+v\n", *res.Stats)
+	}
+}
+
+// tracePipeline drops below the facade to attach a cycle-by-cycle tracer.
+func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64) {
+	cfg := core.DefaultConfig()
+	switch mode {
+	case "baseline":
+	case "runahead":
+		cfg.Mode = core.ModeTraditional
+	case "runahead-buffer":
+		cfg.Mode = core.ModeBuffer
+	case "runahead-buffer+cc":
+		cfg.Mode = core.ModeBufferCC
+	case "hybrid":
+		cfg.Mode = core.ModeHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
+		os.Exit(1)
+	}
+	cfg.Enhancements = enh
+	cfg.Mem.EnablePrefetch = pf
+	cfg.Mem.PrefetchKind = pfKind
+	p, err := workload.Load(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := core.New(cfg, p)
+	c.SetTracer(os.Stdout, cycles)
+	for c.Now() < cycles {
+		c.Cycle()
+	}
+}
+
+// pipelineDiagram is Figure 6: the out-of-order pipeline with the additions
+// traditional runahead needs (+) and the further runahead buffer additions
+// (*).
+const pipelineDiagram = `Figure 6 — the runahead buffer pipeline:
+
+  Fetch -> Decode -> Rename -------> Select/ -> Register -> Execute --> Commit
+                       ^             Wakeup     Read(+)     (+)
+                       |                        poison      checkpointing,
+             Runahead  |                        bits        runahead cache
+             Buffer(*) |
+                       |
+        filled by dependence chain generation(*)
+        from the ROB: PC CAM + dest-reg CAM + store-queue CAM (Algorithm 1),
+        cached in the 2-entry chain cache(*)
+
+  (+) needed for traditional runahead   (*) added for the runahead buffer
+`
+
+// compareModes runs every runahead mode and prints one row per system.
+func compareModes(bench string, pf bool, uops, warmup uint64) {
+	fmt.Printf("%-22s %8s %10s %13s %11s %10s\n",
+		"system", "IPC", "IPC gain", "energy diff", "DRAM diff", "intervals")
+	for _, m := range runaheadsim.Modes() {
+		res, err := runaheadsim.Run(runaheadsim.Config{
+			Benchmark:    bench,
+			Mode:         m,
+			Prefetcher:   pf,
+			Enhancements: m == runaheadsim.ModeHybrid || m == runaheadsim.ModeAdaptiveHybrid,
+			MeasureUops:  uops,
+			WarmupUops:   warmup,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s %8.3f %9.1f%% %12.1f%% %10.1f%% %10d\n",
+			string(m), res.IPC, res.IPCDeltaPct, res.EnergyDeltaPct, res.TrafficDeltaPct, res.RunaheadIntervals)
+	}
+}

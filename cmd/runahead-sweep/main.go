@@ -1,0 +1,93 @@
+// Command runahead-sweep regenerates the paper's tables and figures as text
+// tables. Simulation runs are shared across experiments, so regenerating
+// everything costs far less than the sum of its parts.
+//
+// Examples:
+//
+//	runahead-sweep                      # everything, default budget
+//	runahead-sweep -experiments figure9,figure17
+//	runahead-sweep -uops 300000 -out results.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"runaheadsim/internal/harness"
+)
+
+func main() {
+	var (
+		exps   = flag.String("experiments", "all", "comma-separated experiment ids, or \"all\"")
+		uops   = flag.Uint64("uops", 150_000, "measured micro-ops per run")
+		warmup = flag.Uint64("warmup", 0, "warmup micro-ops per run (0 = automatic)")
+		out    = flag.String("out", "", "write tables to this file instead of stdout")
+		asJSON = flag.Bool("json", false, "emit the tables as JSON instead of text")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opts := harness.Options{MeasureUops: *uops, WarmupUops: *warmup}
+	if !*quiet {
+		opts.Progress = func(bench, config string) {
+			fmt.Fprintf(os.Stderr, "running %-12s %s\n", bench, config)
+		}
+	}
+	runner := harness.NewRunner(opts)
+
+	want := map[string]bool{}
+	if *exps != "all" {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	known := map[string]bool{}
+	var tables []harness.Table
+	ran := 0
+	for _, e := range harness.Experiments() {
+		known[e.ID] = true
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		t := e.Build(runner)
+		ran++
+		if *asJSON {
+			tables = append(tables, t)
+		} else {
+			t.Render(w)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// This example drops below the facade to the library layers: it builds two
+// custom workloads with the program builder — a serial pointer chase and an
+// mcf-style independent gather — runs them on the simulated core directly,
+// and shows the paper's core insight: runahead only helps when the miss
+// dependence chains are independent of the blocked miss. A serial chase
+// poisons every subsequent node address; a gather keeps producing new
+// misses.
+package main
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/prog"
+)
+
+// chase builds one long linked list: node_{k+1} = *node_k. Every next
+// pointer depends on the previous miss — runahead's worst case.
+func chase() *prog.Program {
+	b := prog.NewBuilder("serial-chase")
+	const nodes = 1 << 14
+	base := b.Alloc(nodes*2112, 64)
+	for i := uint64(0); i < nodes; i++ {
+		next := (i*40503 + 1) & (nodes - 1)
+		b.Mem().Write64(base+i*2112, int64(base+next*2112))
+	}
+	const rP = isa.Reg(1)
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	entry.Movi(rP, int64(base)).Jmp(loop)
+	loop.Ld(rP, rP, 0).Bnez(rP, loop)
+	b.Block("wrap").Movi(rP, int64(base)).Jmp(loop)
+	return b.MustBuild()
+}
+
+// gather builds mcf-style independent misses: the address of iteration k+1
+// never depends on the data of iteration k.
+func gather() *prog.Program {
+	b := prog.NewBuilder("independent-gather")
+	const slots = 1 << 14
+	base := b.Alloc(slots*2112, 64)
+	const rI, rIdx, rAddr, rV, rAcc = isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	entry.Movi(rI, 0).Movi(rAcc, 0).Movi(rAddr, int64(base)).Jmp(loop)
+	loop.OpI(isa.MULI, rIdx, rI, 40503).
+		OpI(isa.ANDI, rIdx, rIdx, slots-1).
+		OpI(isa.MULI, rIdx, rIdx, 2112).
+		Emit(isa.Uop{Op: isa.MOVI, Dst: rAddr, Imm: int64(base)}).
+		Add(rAddr, rAddr, rIdx).
+		Ld(rV, rAddr, 0).
+		Add(rAcc, rAcc, rV).
+		Addi(rI, rI, 1).
+		Jmp(loop)
+	return b.MustBuild()
+}
+
+func run(p *prog.Program, mode core.Mode) *core.Stats {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	c := core.New(cfg, p)
+	c.Run(20_000) // warm caches and predictors
+	c.ResetStats()
+	return c.Run(60_000)
+}
+
+func main() {
+	for _, p := range []*prog.Program{chase(), gather()} {
+		base := run(p, core.ModeNone)
+		buf := run(p, core.ModeBufferCC)
+		mlp := 0.0
+		if buf.RunaheadIntervals > 0 {
+			mlp = float64(buf.RunaheadMissesLLC) / float64(buf.RunaheadIntervals)
+		}
+		fmt.Printf("%-20s baseline IPC %.3f | runahead buffer IPC %.3f (%+.0f%%) | %.1f new misses per interval\n",
+			p.Name, base.IPC(), buf.IPC(), 100*(buf.IPC()/base.IPC()-1), mlp)
+	}
+	fmt.Println("\nthe chase's next-pointer loads are poisoned by the blocking miss, so the")
+	fmt.Println("buffer loop uncovers nothing; the gather's chains are independent and the")
+	fmt.Println("buffer runs far ahead — the filtering insight of Section 3.1.")
+}

@@ -1,0 +1,3 @@
+module runaheadsim
+
+go 1.22

@@ -1,0 +1,97 @@
+package cache
+
+// MSHRFile tracks outstanding misses for one cache level. Requests to a line
+// that already has an entry merge into it instead of issuing a duplicate
+// fill, which is also how runahead's extra loads to already-missing lines
+// avoid generating redundant DRAM traffic.
+type MSHRFile struct {
+	cap     int
+	entries map[uint64]*MSHR
+
+	// Statistics.
+	Allocs uint64
+	Merges uint64
+	Full   uint64
+}
+
+// MSHR is one outstanding line fill.
+type MSHR struct {
+	LineAddr uint64
+	// Waiters are completion callbacks invoked with the fill cycle.
+	Waiters []func(cycle int64)
+	// Prefetch is true while the fill is owed only to prefetch requests; a
+	// demand merge clears it (late prefetch).
+	Prefetch bool
+	// DemandMerged records that a demand access merged into a prefetch MSHR
+	// (FDP lateness signal).
+	DemandMerged bool
+	// FillFromMem is set by the owner when the fill had to go to DRAM, so
+	// waiters can learn how deep the miss went.
+	FillFromMem bool
+	// EarlyMiss callbacks fire the moment the miss is known to be DRAM-bound
+	// (runahead needs to learn this without waiting for data).
+	EarlyMiss []func(cycle int64)
+}
+
+// NewMSHRFile returns an MSHR file with the given capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic("cache: MSHR file needs positive capacity")
+	}
+	return &MSHRFile{cap: capacity, entries: make(map[uint64]*MSHR, capacity)}
+}
+
+// Lookup returns the outstanding entry for lineAddr, if any.
+func (f *MSHRFile) Lookup(lineAddr uint64) (*MSHR, bool) {
+	m, ok := f.entries[lineAddr]
+	return m, ok
+}
+
+// FullNow reports whether no new entry can be allocated.
+func (f *MSHRFile) FullNow() bool { return len(f.entries) >= f.cap }
+
+// Allocate creates an entry for lineAddr. It returns nil and counts the
+// rejection when the file is full. lineAddr must not already be present
+// (callers merge via Lookup first).
+func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
+	if _, ok := f.entries[lineAddr]; ok {
+		panic("cache: MSHR already allocated for line")
+	}
+	if len(f.entries) >= f.cap {
+		f.Full++
+		return nil
+	}
+	m := &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
+	f.entries[lineAddr] = m
+	f.Allocs++
+	return m
+}
+
+// Merge attaches a waiter to an existing entry. A demand merge into a
+// prefetch entry converts it and records the lateness.
+func (f *MSHRFile) Merge(m *MSHR, demand bool, waiter func(int64)) {
+	if waiter != nil {
+		m.Waiters = append(m.Waiters, waiter)
+	}
+	if demand && m.Prefetch {
+		m.Prefetch = false
+		m.DemandMerged = true
+	}
+	f.Merges++
+}
+
+// Complete removes the entry and returns it so the caller can run waiters.
+func (f *MSHRFile) Complete(lineAddr uint64) *MSHR {
+	m, ok := f.entries[lineAddr]
+	if !ok {
+		panic("cache: completing MSHR that was never allocated")
+	}
+	delete(f.entries, lineAddr)
+	return m
+}
+
+// Outstanding returns the number of in-flight entries.
+func (f *MSHRFile) Outstanding() int { return len(f.entries) }
+
+// Clear drops all entries (used only by whole-machine reset in tests).
+func (f *MSHRFile) Clear() { clear(f.entries) }

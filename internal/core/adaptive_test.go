@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/prog"
+)
+
+// chaseGatherMix is the adaptive-hybrid policy's motivating workload: every
+// iteration advances a serial pointer chase (the dominant, blocking miss)
+// and also performs an independent gather. The chase PC appears many times
+// in the ROB and its 2-uop chain sails through the Figure 8 checks — but
+// looping it in the buffer is barren (the next pointer is poisoned), while
+// traditional runahead executes the whole loop and prefetches the gathers.
+func chaseGatherMix() *prog.Program {
+	b := prog.NewBuilder("chase-gather")
+	const nodes = 1 << 15
+	const nodeStride = 192
+	chase := b.Alloc(nodes*nodeStride, 64)
+	for i := uint64(0); i < nodes; i++ {
+		next := (i + 40503) & (nodes - 1)
+		b.Mem().Write64(chase+i*nodeStride, int64(chase+next*nodeStride))
+	}
+	const slots = 1 << 14
+	data := b.Alloc(slots*2112, 64)
+
+	const rP, rI, rIdx, rAddr, rV, rAcc, rB = 1, 2, 3, 4, 5, 6, 7
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	doChase := b.Block("chase")
+	body := b.Block("body")
+	entry.Movi(rP, int64(chase)).Movi(rI, 0).Movi(rAcc, 0).Jmp(loop)
+	// Every other iteration walks the serial node list; the tight spacing
+	// keeps several instances of the chase PC in the ROB, so the Figure 8
+	// checks pass and plain hybrid buffers the barren serial chain.
+	loop.OpI(isa.ANDI, rB, rI, 1).
+		Bnez(rB, body)
+	doChase.Ld(rP, rP, 0)
+	body.OpI(isa.MULI, rIdx, rI, 40503).
+		OpI(isa.ANDI, rIdx, rIdx, slots-1).
+		OpI(isa.MULI, rAddr, rIdx, 2112).
+		Addi(rAddr, rAddr, int64(data)).
+		Ld(rV, rAddr, 0). // the independent gather: the dominant miss stream
+		Add(rAcc, rAcc, rV)
+	for k := 0; k < 8; k++ {
+		body.OpI(isa.ADDI, isa.Reg(20+k%4), isa.Reg(20+k%4), int64(k))
+	}
+	body.Addi(rI, rI, 1).Jmp(loop)
+	return b.MustBuild()
+}
+
+// TestAdaptiveBeatsHybridOnSerialChains: the plain hybrid policy keeps
+// feeding the chase chain into the buffer (it passes every Figure 8 check)
+// and pays a pipeline flush and replay for every barren interval; the
+// adaptive extension learns the chain is barren and skips those intervals.
+func TestAdaptiveBeatsHybridOnSerialChains(t *testing.T) {
+	run := func(mode Mode) *Stats {
+		cfg := testConfig(mode)
+		c := New(cfg, chaseGatherMix())
+		c.Run(30_000)
+		c.ResetStats()
+		st := c.Run(60_000)
+		return st
+	}
+	hy := run(ModeHybrid)
+	ad := run(ModeAdaptive)
+	if ad.AdaptiveDemotions == 0 {
+		t.Fatal("adaptive policy never demoted the barren chase chain")
+	}
+	if ad.IPC() <= hy.IPC() {
+		t.Fatalf("adaptive %.3f IPC should beat plain hybrid %.3f on serial-chain blocking",
+			ad.IPC(), hy.IPC())
+	}
+	// And the adaptive mode must not regress the buffer's showcase.
+	gHy := func(mode Mode) float64 {
+		cfg := testConfig(mode)
+		c := New(cfg, gatherLoop(20))
+		c.Run(20_000)
+		c.ResetStats()
+		return c.Run(40_000).IPC()
+	}
+	if a, h := gHy(ModeAdaptive), gHy(ModeHybrid); a < h*0.97 {
+		t.Fatalf("adaptive (%.3f) regressed hybrid (%.3f) on a productive-buffer workload", a, h)
+	}
+}
+
+// TestAdaptiveEquivalence: the new mode preserves architectural semantics.
+func TestAdaptiveEquivalence(t *testing.T) {
+	p := chaseGatherMix()
+	c := New(testConfig(ModeAdaptive), p)
+	st := c.Run(30_000)
+	in := prog.NewInterp(p)
+	in.Run(st.Committed)
+	regs := c.ArchRegs()
+	for r := 0; r < isa.NumArchRegs; r++ {
+		if regs[r] != in.Regs[r] {
+			t.Fatalf("r%d = %d, interpreter %d", r, regs[r], in.Regs[r])
+		}
+	}
+	if !c.Mem().Equal(in.Mem) {
+		t.Fatal("memory state diverged")
+	}
+}
+
+func TestBufferScoreTable(t *testing.T) {
+	c := New(testConfig(ModeAdaptive), simpleLoop())
+	if c.bufferScore(0x1234) != 1 {
+		t.Fatal("unseen PC must start weakly productive")
+	}
+	c.updateBufferScore(0x1234, 0)
+	if c.bufferScore(0x1234) != 0 {
+		t.Fatal("barren interval must weaken the PC")
+	}
+	c.updateBufferScore(0x1234, 3)
+	if c.bufferScore(0x1234) != 2 {
+		t.Fatal("productive interval must rebuild confidence by two")
+	}
+	c.updateBufferScore(0x1234, 5)
+	if c.bufferScore(0x1234) != 3 {
+		t.Fatal("score must saturate at 3")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/prog"
+)
+
+// callRetProgram exercises CALL/RET and the return address stack: a loop
+// calling two leaf functions alternately, each doing a little work.
+func callRetProgram() *prog.Program {
+	b := prog.NewBuilder("callret")
+	const (
+		rI, rLink, rA, rB_, rSel = 1, 2, 3, 4, 5
+	)
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	callB := b.Block("callB")
+	tail := b.Block("tail")
+	fnA := b.Block("fnA")
+	fnB := b.Block("fnB")
+
+	entry.Movi(rI, 0).Movi(rA, 0).Jmp(loop)
+	loop.OpI(isa.ANDI, rSel, rI, 1).
+		Bnez(rSel, callB).
+		Call(fnA, rLink)
+	callB.Call(fnB, rLink)
+	tail.Addi(rI, rI, 1).Jmp(loop)
+	fnA.Addi(rA, rA, 1).Ret(rLink)
+	fnB.OpI(isa.MULI, rB_, rA, 3).Ret(rLink)
+	return b.MustBuild()
+}
+
+func TestCallRetEquivalence(t *testing.T) {
+	for _, m := range []Mode{ModeNone, ModeHybrid} {
+		p := callRetProgram()
+		c := New(testConfig(m), p)
+		st := c.Run(20_000)
+		in := prog.NewInterp(p)
+		in.Run(st.Committed)
+		regs := c.ArchRegs()
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if regs[r] != in.Regs[r] {
+				t.Fatalf("%v: r%d = %d, interpreter %d", m, r, regs[r], in.Regs[r])
+			}
+		}
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	c := New(testConfig(ModeNone), callRetProgram())
+	st := c.Run(30_000)
+	// After warmup (cold BTB misses for the calls), returns should predict
+	// via the RAS: the overall misprediction rate must be small even though
+	// the program alternates return targets every iteration.
+	rate := float64(st.Mispredicts) / float64(st.Branches)
+	if rate > 0.10 {
+		t.Fatalf("call/ret misprediction rate %.3f — RAS not working", rate)
+	}
+}
+
+// TestCallRetUnderRunahead: runahead must checkpoint and restore the RAS
+// (Section 3). Interleave calls with a memory-bound gather so runahead
+// triggers, and check equivalence still holds.
+func TestCallRetUnderRunahead(t *testing.T) {
+	b := prog.NewBuilder("callret-mem")
+	const slots = 1 << 14
+	data := b.Alloc(slots*2112, 64)
+	const rI, rLink, rIdx, rAddr, rV, rAcc = 1, 2, 3, 4, 5, 6
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	fn := b.Block("fn")
+	entry.Movi(rI, 0).Movi(rAcc, 0).Jmp(loop)
+	loop.OpI(isa.MULI, rIdx, rI, 40503).
+		OpI(isa.ANDI, rIdx, rIdx, slots-1).
+		OpI(isa.MULI, rAddr, rIdx, 2112).
+		Addi(rAddr, rAddr, int64(data)).
+		Ld(rV, rAddr, 0).
+		Call(fn, rLink)
+	after := b.Block("after")
+	after.Addi(rI, rI, 1).Jmp(loop)
+	fn.Add(rAcc, rAcc, rV).Ret(rLink)
+	p := b.MustBuild()
+
+	c := New(testConfig(ModeHybrid), p)
+	st := c.Run(20_000)
+	if st.RunaheadIntervals == 0 {
+		t.Fatal("gather with calls never entered runahead")
+	}
+	in := prog.NewInterp(p)
+	in.Run(st.Committed)
+	regs := c.ArchRegs()
+	for r := 0; r < isa.NumArchRegs; r++ {
+		if regs[r] != in.Regs[r] {
+			t.Fatalf("r%d = %d, interpreter %d", r, regs[r], in.Regs[r])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "runaheadsim/internal/isa"
+
+// generateChain implements Algorithm 1: the pseudo-wakeup walk that filters
+// the dependence chain of a cache miss out of the reorder buffer.
+//
+// match is a dynamic instance of the blocking load found by the PC CAM.
+// The walk maintains a source-register search list (bounded at SRSLSize);
+// each dequeued register searches the ROB's destination-register CAM for the
+// youngest older producer. Producing loads additionally search the store
+// queue by address so spill/fill pairs pull the store (and its sources) into
+// the chain. Membership is tracked with a bit vector over ROB positions; the
+// final chain is read out in program order.
+//
+// It returns the chain (nil only if match is nil), the number of
+// destination-CAM searches performed (for timing and energy), and whether
+// the walk was truncated by the MaxChainLength cap.
+func (c *Core) generateChain(match *DynInst) (ch *Chain, searches int, truncated bool) {
+	if match == nil {
+		return nil, 0, false
+	}
+	n := c.rob.size()
+	inChain := make([]bool, n)
+	matchIdx := c.robIndexOf(match)
+	if matchIdx < 0 || matchIdx >= n {
+		return nil, 0, false
+	}
+	inChain[matchIdx] = true
+	chainLen := 1
+
+	type want struct {
+		reg      isa.Reg
+		consumer int // ROB index of the consuming op; search strictly older
+	}
+	var srsl []want
+	enqueue := func(d *DynInst, idx int) {
+		for _, r := range d.U.SrcRegs(nil) {
+			if len(srsl) >= c.cfg.SRSLSize {
+				return // bounded hardware list; drop the rest
+			}
+			srsl = append(srsl, want{reg: r, consumer: idx})
+		}
+	}
+	enqueue(match, matchIdx)
+
+	for len(srsl) > 0 && chainLen < c.cfg.MaxChainLength {
+		w := srsl[0]
+		srsl = srsl[1:]
+		searches++
+		c.st.DestCAMSearches++
+		// Youngest producer older than the consumer.
+		prodIdx := -1
+		for i := w.consumer - 1; i >= 0; i-- {
+			e := c.rob.at(i)
+			if e.U.Dst != isa.RegNone && e.U.Dst == w.reg {
+				prodIdx = i
+				break
+			}
+		}
+		if prodIdx < 0 {
+			continue // value comes from before the window (architectural)
+		}
+		if inChain[prodIdx] {
+			continue
+		}
+		p := c.rob.at(prodIdx)
+		if p.U.Op.IsBranch() {
+			continue // control ops are never part of the chain (Figure 7)
+		}
+		inChain[prodIdx] = true
+		chainLen++
+		enqueue(p, prodIdx)
+
+		// Register fills: a producing load may take its value from an older
+		// store in the window (common for x86 spill/fill traffic).
+		if p.U.Op.IsLoad() && p.EAValid && chainLen < c.cfg.MaxChainLength {
+			c.st.SQCAMSearches++
+			for i := prodIdx - 1; i >= 0; i-- {
+				s := c.rob.at(i)
+				if !s.U.Op.IsStore() || !s.EAValid || !overlaps(s.EA, p.EA) {
+					continue
+				}
+				if !inChain[i] {
+					inChain[i] = true
+					chainLen++
+					enqueue(s, i)
+				}
+				break
+			}
+		}
+	}
+	truncated = len(srsl) > 0 || chainLen >= c.cfg.MaxChainLength
+
+	// Read the chain out of the ROB in program order.
+	ch = &Chain{BlockingPC: match.PC}
+	for i := 0; i < n; i++ {
+		if !inChain[i] {
+			continue
+		}
+		e := c.rob.at(i)
+		ch.Uops = append(ch.Uops, ChainUop{U: *e.U, PC: e.PC, Index: e.Index})
+		c.st.ROBChainReads++
+	}
+	ch.Signature = chainSignature(ch.Uops)
+	return ch, searches, truncated
+}

@@ -1,0 +1,89 @@
+package core
+
+import "runaheadsim/internal/memsys"
+
+// commitStage retires up to CommitWidth executed uops in order, drains the
+// store buffer, and triggers runahead entry when a DRAM-bound load blocks
+// the ROB head.
+func (c *Core) commitStage() {
+	c.drainStoreBuffer()
+	committed := 0
+	for committed < c.cfg.CommitWidth && !c.rob.empty() {
+		d := c.rob.at(0)
+		if !d.Executed {
+			c.st.ROBStallCycles++
+			if d.U.Op.IsLoad() && d.DRAMBound {
+				c.st.MemStallCycles++
+				// Runahead begins "once a miss has propagated to the top of
+				// the reorder buffer" (Section 4.2) — retirement is stalled
+				// and every cycle from here on is otherwise wasted.
+				if !c.ra.active && c.cfg.Mode != ModeNone {
+					c.tryEnterRunahead(d)
+				}
+			}
+			return
+		}
+		if c.ra.active {
+			// Pseudo-retirement: runahead results never touch architectural
+			// state; the slot is recycled and the previous mapping of the
+			// destination freed so runahead can keep renaming indefinitely
+			// (Section 3). The wholesale reset at exit discards everything.
+			c.rob.popHead()
+			c.recycle(d)
+			c.traceCommit(d, true)
+			if d.POld != noPhys {
+				c.ren.release(d.POld)
+			}
+			c.ra.pseudoRetired++
+			c.lastProgress = c.now
+			committed++
+			continue
+		}
+		if d.U.Op.IsStore() {
+			if len(c.storeBuf) >= c.cfg.StoreBufSize {
+				c.st.StoreBufFullStall++
+				return
+			}
+			c.mem.Write64(d.EA, d.StoreData)
+			c.storeBuf = append(c.storeBuf, sbEntry{addr: d.EA})
+		}
+		if d.PDst != noPhys {
+			c.archVal[d.U.Dst] = d.Value
+		}
+		c.rob.popHead()
+		c.recycle(d)
+		c.traceCommit(d, false)
+		if d.POld != noPhys {
+			c.ren.release(d.POld)
+		}
+		c.st.Committed++
+		c.st.CommittedInstrs++
+		c.lastProgress = c.now
+		committed++
+	}
+}
+
+// recycle returns d's queue occupancy. During runahead, physical registers
+// are not individually reclaimed — the wholesale reset at exit rebuilds the
+// free list.
+func (c *Core) recycle(d *DynInst) {
+	if d.U.Op.IsLoad() {
+		c.lqCount--
+	}
+	if d.U.Op.IsStore() {
+		c.sqCount--
+	}
+}
+
+// drainStoreBuffer writes the oldest committed store into the data cache.
+func (c *Core) drainStoreBuffer() {
+	if len(c.storeBuf) == 0 || c.storeBuf[0].inflight {
+		return
+	}
+	e := &c.storeBuf[0]
+	if c.h.Store(c.now, e.addr, func(memsys.Outcome) {
+		c.storeBuf = c.storeBuf[1:]
+	}) {
+		e.inflight = true
+	}
+}

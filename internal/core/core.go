@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/bpred"
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/memsys"
+	"runaheadsim/internal/prog"
+)
+
+// eventWindow bounds how far ahead core-internal events (execution
+// completions, load replays) can be scheduled. The longest operation latency
+// is far below this.
+const eventWindow = 128
+
+// Core is the simulated processor: one out-of-order core attached to the
+// memory hierarchy, running one program.
+type Core struct {
+	cfg Config
+	p   *prog.Program
+	mem *prog.Memory // architectural (committed) memory image
+	h   *memsys.Hierarchy
+	bp  *bpred.Predictor
+
+	prf *regFile
+	ren *renamer
+	rob *robFile
+	st  *Stats
+
+	now int64
+	seq uint64
+
+	// archVal mirrors the committed architectural register values — the
+	// checkpoint runahead restores.
+	archVal [isa.NumArchRegs]int64
+
+	// Front end.
+	fetchPC         uint64
+	fetchStallUntil int64
+	fetchGen        uint64 // bumped on redirects so stale I-fetch callbacks are ignored
+	icacheWait      bool
+	lastFetchLine   uint64
+	frontQ          []*DynInst // fetched & decoding; ready for rename at readyAt
+	frontReadyAt    []int64
+
+	// Back end occupancy.
+	rsCount  int
+	lqCount  int
+	sqCount  int
+	storeBuf []sbEntry
+
+	// Core-internal scheduled events (completions, replays).
+	events [eventWindow][]func()
+
+	// Runahead machinery.
+	ra      raState
+	racache *raCache
+	ccache  *chainCache
+
+	// missAge records, per line, the cycle at which the line's DRAM request
+	// was first issued. The first runahead enhancement ("issued to memory
+	// less than 250 instructions ago") reads it: a blocking load whose
+	// underlying request is old — typically because a previous runahead
+	// interval already prefetched it — is about to return, so entering
+	// runahead for it would buy almost nothing.
+	missAge map[uint64]int64
+
+	// pcScore is the adaptive-hybrid policy's per-PC productivity table.
+	pcScore map[uint64]uint8
+
+	// Instrumentation.
+	dep          *depTracker
+	tracer       *Tracer
+	lastProgress int64
+	statsZero    int64 // cycle at the last ResetStats
+}
+
+type sbEntry struct {
+	addr     uint64
+	inflight bool
+}
+
+// New builds a core running program p. The program's initial memory image is
+// cloned, so multiple cores can run the same program.
+func New(cfg Config, p *prog.Program) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid program: %v", err))
+	}
+	c := &Core{
+		cfg:     cfg,
+		p:       p,
+		mem:     p.NewMemory(),
+		h:       memsys.New(cfg.Mem),
+		bp:      bpred.New(cfg.BPred),
+		prf:     newRegFile(cfg.NumPhysRegs),
+		ren:     newRenamer(cfg.NumPhysRegs),
+		rob:     newROB(cfg.ROBSize),
+		st:      newStats(),
+		fetchPC: p.AddrOf(0),
+		racache: newRACache(cfg.RACacheBytes, cfg.RACacheWays, cfg.RACacheLineBytes),
+		ccache:  newChainCache(cfg.ChainCacheEntries),
+		missAge: make(map[uint64]int64),
+	}
+	for i := 0; i < isa.NumArchRegs; i++ {
+		c.prf.ready[i] = true
+	}
+	if cfg.DepTrack {
+		c.dep = newDepTracker()
+	}
+	c.lastFetchLine = ^uint64(0)
+	return c
+}
+
+// Stats returns the core's statistics.
+func (c *Core) Stats() *Stats { return c.st }
+
+// Mem returns the committed memory image (for equivalence tests).
+func (c *Core) Mem() *prog.Memory { return c.mem }
+
+// ArchRegs returns the committed architectural register values.
+func (c *Core) ArchRegs() [isa.NumArchRegs]int64 { return c.archVal }
+
+// Hierarchy returns the memory system (for statistics).
+func (c *Core) Hierarchy() *memsys.Hierarchy { return c.h }
+
+// Bpred returns the branch predictor (for statistics).
+func (c *Core) Bpred() *bpred.Predictor { return c.bp }
+
+// ChainCache returns the dependence chain cache (for statistics).
+func (c *Core) ChainCacheStats() (hits, misses uint64) {
+	return c.ccache.HitCount, c.ccache.MissCount
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// CachedChains returns the dependence chains currently held in the chain
+// cache (for inspection; see Chain.String for Figure 7-style rendering).
+func (c *Core) CachedChains() []Chain { return c.ccache.CachedChains() }
+
+func (c *Core) schedule(at int64, fn func()) {
+	if at <= c.now {
+		at = c.now + 1
+	}
+	if at-c.now >= eventWindow {
+		panic("core: event scheduled beyond the event window")
+	}
+	slot := at % eventWindow
+	c.events[slot] = append(c.events[slot], fn)
+}
+
+// Run executes until target correct-path uops have committed. It returns the
+// statistics (also available via Stats).
+func (c *Core) Run(target uint64) *Stats {
+	for c.st.Committed < target {
+		c.Cycle()
+		if c.cfg.WatchdogCycles > 0 && c.now-c.lastProgress > c.cfg.WatchdogCycles {
+			panic(fmt.Sprintf("core: watchdog — no progress for %d cycles at cycle %d (program %q, mode %v, ROB %d/%d, committed %d, runahead=%v)",
+				c.cfg.WatchdogCycles, c.now, c.p.Name, c.cfg.Mode, c.rob.size(), c.cfg.ROBSize, c.st.Committed, c.ra.active))
+		}
+	}
+	c.st.Cycles = c.now - c.statsZero
+	return c.st
+}
+
+// Cycle advances the machine by one clock.
+func (c *Core) Cycle() {
+	c.now++
+	c.h.Tick(c.now)
+
+	// Fire core events due this cycle.
+	slot := c.now % eventWindow
+	if evs := c.events[slot]; len(evs) > 0 {
+		c.events[slot] = nil
+		for _, fn := range evs {
+			fn()
+		}
+	}
+
+	if c.ra.active && c.ra.pendingExit {
+		c.exitRunahead()
+	}
+
+	c.commitStage()
+	c.issueStage()
+	c.renameStage()
+	c.fetchStage()
+
+	// Per-cycle accounting.
+	if c.ra.active {
+		c.st.RunaheadCycles++
+		if c.ra.usingBuffer {
+			c.st.RunaheadBufferCycles++
+			c.st.FEGatedCycles++
+		} else {
+			c.st.RunaheadTradCycles++
+		}
+	}
+}
+
+// dump renders a short machine state summary for panics and debugging.
+func (c *Core) dump() string {
+	s := fmt.Sprintf("cycle=%d committed=%d rob=%d rs=%d lq=%d sq=%d fetchPC=%#x runahead=%v buffer=%v\n",
+		c.now, c.st.Committed, c.rob.size(), c.rsCount, c.lqCount, c.sqCount, c.fetchPC, c.ra.active, c.ra.usingBuffer)
+	n := c.rob.size()
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		d := c.rob.at(i)
+		s += fmt.Sprintf("  rob[%d] seq=%d pc=%#x %v renamed=%v issued=%v exec=%v poison=%v dram=%v\n",
+			i, d.Seq, d.PC, d.U.Op, d.Renamed, d.Issued, d.Executed, d.Poisoned, d.DRAMBound)
+	}
+	return s
+}
+
+// ResetStats zeroes every statistics counter in the core and its memory
+// system while preserving all microarchitectural state (caches, predictor,
+// chain cache contents, in-flight work). Harnesses call it after a warmup
+// run so measurements exclude cold-start effects. The cycle and committed
+// counts reported by a subsequent Run are relative to this point.
+func (c *Core) ResetStats() {
+	c.st = newStats()
+	c.statsZero = c.now
+	c.h.ResetStats()
+	c.bp.ResetStats()
+	clear(c.missAge)
+	c.ccache.HitCount, c.ccache.MissCount = 0, 0
+	c.racache.Writes, c.racache.Hits, c.racache.Misses = 0, 0, 0
+	c.ra.haveFurthestReach = false
+	c.ra.dramReadsAtEntry = 0
+	c.ra.committedAtEntry = 0
+}

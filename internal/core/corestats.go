@@ -1,0 +1,107 @@
+package core
+
+import "runaheadsim/internal/stats"
+
+// Stats aggregates every event counter the figures and the energy model
+// consume. All counts are in micro-ops unless noted.
+type Stats struct {
+	Cycles    int64
+	Committed uint64 // correct-path retired uops (excludes runahead pseudo-retires)
+
+	// Front end.
+	Fetched            uint64
+	Decoded            uint64
+	FetchActiveCycles  int64 // cycles the fetch stage did work (for clock gating)
+	DecodeActiveCycles int64
+	FEGatedCycles      int64 // cycles fetch+decode were clock-gated in buffer mode
+	ICacheStallCycles  int64
+
+	// Rename/dispatch/issue/execute.
+	Renamed      uint64
+	Issued       uint64
+	ExecALU      uint64
+	ExecMul      uint64
+	ExecDiv      uint64
+	ExecFP       uint64
+	ExecMem      uint64
+	ExecBranch   uint64
+	PRFReads     uint64
+	PRFWrites    uint64
+	LoadRetries  uint64
+	StoreForward uint64
+
+	// Branches and wrong-path execution. Wrong-path loads keep their memory
+	// requests after the squash — often a useful prefetch (the paper cites
+	// Mutlu et al. [23] on wrong-path references being beneficial).
+	Branches       uint64
+	Mispredicts    uint64
+	SquashedUops   uint64
+	WrongPathLoads uint64
+
+	// Commit-side.
+	CommittedInstrs   uint64 // same as Committed; kept for clarity in reports
+	StoreBufFullStall int64
+	ROBStallCycles    int64 // cycles commit could not retire anything
+	MemStallCycles    int64 // subset of ROBStallCycles where the head was a DRAM-bound load
+
+	// Runahead generally.
+	RunaheadIntervals     uint64
+	RunaheadCycles        int64
+	RunaheadBufferCycles  int64 // cycles in buffer-driven runahead
+	RunaheadTradCycles    int64 // cycles in traditional (front-end-driven) runahead
+	RunaheadUops          uint64
+	RunaheadLoads         uint64
+	RunaheadMissesLLC     uint64 // new DRAM-bound demand misses generated in runahead
+	PoisonedUops          uint64
+	RunaheadEntrySkipped  uint64 // entries suppressed by the enhancements
+	RunaheadEntriesFailed uint64 // buffer-only mode: no chain available, stalled instead
+
+	// Chain generation / chain cache.
+	ChainsGenerated   uint64
+	ChainGenFailures  uint64 // no matching PC in the ROB
+	ChainsTooLong     uint64 // generated chain exceeded MaxChainLength
+	ChainGenCycles    int64
+	PCCAMSearches     uint64
+	DestCAMSearches   uint64
+	SQCAMSearches     uint64
+	ROBChainReads     uint64
+	ChainCacheHits    uint64
+	ChainCacheMisses  uint64
+	ChainCacheExact   uint64 // cache hits whose chain matches the fresh ROB chain
+	ChainCacheChecked uint64 // cache hits where a fresh chain could be generated to compare
+	BufferUopsIssued  uint64
+	HybridChoseBuffer uint64
+	HybridChoseTrad   uint64
+	AdaptiveDemotions uint64
+
+	// Checkpointing energy events.
+	CheckpointRegReads  uint64
+	CheckpointRegWrites uint64
+
+	// Dependence-walk instrumentation (Figures 2-5).
+	DemandDRAMMisses     uint64           // normal-mode loads that went to DRAM
+	MissSourcesOnChip    uint64           // of those, misses whose chain has no off-chip ancestor
+	RAChainUops          uint64           // distinct runahead uops on some miss chain (Fig 3)
+	RATotalUops          uint64           // runahead uops executed while tracking (Fig 3)
+	RAChainsUnique       uint64           // Fig 4
+	RAChainsRepeated     uint64           // Fig 4
+	ChainLengths         *stats.Histogram // Fig 5 (uops per miss chain)
+	MissesPerInterval    *stats.Histogram // Fig 10
+	RunaheadIntervalLens *stats.Histogram
+}
+
+func newStats() *Stats {
+	return &Stats{
+		ChainLengths:         stats.NewHistogram(40, 4),
+		MissesPerInterval:    stats.NewHistogram(64, 1),
+		RunaheadIntervalLens: stats.NewHistogram(64, 32),
+	}
+}
+
+// IPC returns committed uops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}

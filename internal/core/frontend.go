@@ -1,0 +1,138 @@
+package core
+
+import (
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/memsys"
+)
+
+// frontQCap bounds the fetch/decode queue.
+const frontQCap = 32
+
+// fetchStage fetches up to FetchWidth uops per cycle down the predicted
+// path, at most one taken branch per cycle, stalling on I-cache misses. In
+// runahead-buffer mode the front end is clock-gated and does nothing.
+func (c *Core) fetchStage() {
+	if c.ra.active && c.ra.usingBuffer {
+		return
+	}
+	if c.icacheWait || c.now < c.fetchStallUntil {
+		c.st.ICacheStallCycles++
+		return
+	}
+	fetched := 0
+	for fetched < c.cfg.FetchWidth && len(c.frontQ) < frontQCap {
+		u := c.p.UopAt(c.fetchPC)
+		if u == nil {
+			// Wrong-path fetch ran off valid text; wait for a redirect.
+			break
+		}
+		line := c.fetchPC &^ uint64(c.cfg.Mem.L1I.LineBytes-1)
+		if line != c.lastFetchLine {
+			if c.h.L1I().Probe(line) {
+				c.h.L1I().Lookup(line) // count the hit, refresh LRU
+				c.lastFetchLine = line
+			} else {
+				c.icacheWait = true
+				gen := c.fetchGen
+				if !c.h.Fetch(c.now, line, func(memsys.Outcome) {
+					if gen == c.fetchGen {
+						c.icacheWait = false
+						c.lastFetchLine = line
+					}
+				}) {
+					c.icacheWait = false // MSHR full; retry next cycle
+				}
+				break
+			}
+		}
+
+		c.seq++
+		d := &DynInst{
+			Seq:        c.seq,
+			PC:         c.fetchPC,
+			Index:      c.p.IndexOf(c.fetchPC),
+			U:          u,
+			PDst:       noPhys,
+			PSrc1:      noPhys,
+			PSrc2:      noPhys,
+			POld:       noPhys,
+			FetchCycle: c.now,
+			Runahead:   c.ra.active,
+		}
+		nextPC := c.fetchPC + isa.UopBytes
+		if u.Op.IsBranch() {
+			d.IsBranch = true
+			c.predictBranch(d)
+			if d.PredTaken {
+				nextPC = d.PredTarget
+			}
+		}
+		c.traceFetch(d)
+		c.frontQ = append(c.frontQ, d)
+		c.frontReadyAt = append(c.frontReadyAt, c.now+int64(c.cfg.DecodeDepth))
+		c.st.Fetched++
+		c.st.Decoded++
+		fetched++
+		c.fetchPC = nextPC
+		if d.PredTaken {
+			break // one taken branch per fetch cycle
+		}
+	}
+	if fetched > 0 {
+		c.st.FetchActiveCycles++
+		c.st.DecodeActiveCycles++
+	}
+}
+
+// predictBranch fills the prediction fields of a branch at fetch.
+func (c *Core) predictBranch(d *DynInst) {
+	u := d.U
+	fallThrough := d.PC + isa.UopBytes
+	switch u.Op {
+	case isa.JMP, isa.CALL:
+		c.bp.NoteUnconditional()
+		d.PredTaken = true
+		if tgt, ok := c.bp.LookupBTB(d.PC); ok {
+			d.PredTarget = tgt
+		} else {
+			// Unknown target on first encounter: fetch falls through and the
+			// branch redirects at execute.
+			d.PredTaken = false
+			d.PredTarget = fallThrough
+		}
+		if u.Op == isa.CALL {
+			c.bp.RAS().Push(fallThrough)
+		}
+	case isa.RET:
+		c.bp.NoteUnconditional()
+		d.PredTaken = true
+		d.PredTarget = c.bp.RAS().Pop()
+		if d.PredTarget == 0 {
+			d.PredTaken = false
+			d.PredTarget = fallThrough
+		}
+	default: // conditional
+		d.Pred = c.bp.PredictDirection(d.PC)
+		d.PredTaken = d.Pred.Taken
+		d.PredTarget = fallThrough
+		if d.PredTaken {
+			if tgt, ok := c.bp.LookupBTB(d.PC); ok {
+				d.PredTarget = tgt
+			} else {
+				d.PredTaken = false
+			}
+		}
+	}
+}
+
+// redirectFetch restarts fetch at target after a misprediction or runahead
+// exit, discarding everything in the front-end queue.
+func (c *Core) redirectFetch(target uint64, penalty int64) {
+	c.fetchPC = target
+	c.fetchStallUntil = c.now + penalty
+	c.fetchGen++
+	c.icacheWait = false
+	c.lastFetchLine = ^uint64(0)
+	c.frontQ = c.frontQ[:0]
+	c.frontReadyAt = c.frontReadyAt[:0]
+}

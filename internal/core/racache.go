@@ -1,0 +1,94 @@
+package core
+
+// raCache is the runahead cache (Table 1: 512 bytes, 4-way set associative,
+// 8-byte lines). Runahead stores write it so their data can be forwarded to
+// runahead loads without becoming architecturally visible; entries may be
+// poisoned. It is reset on every runahead exit.
+type raCache struct {
+	sets  [][]raLine
+	ways  int
+	shift uint
+	mask  uint64
+	stamp uint64
+
+	Writes, Hits, Misses uint64
+}
+
+type raLine struct {
+	tag      uint64
+	valid    bool
+	poisoned bool
+	value    int64
+	lastUse  uint64
+}
+
+func newRACache(sizeBytes, ways, lineBytes int) *raCache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 || sizeBytes%(ways*lineBytes) != 0 {
+		panic("core: invalid runahead cache geometry")
+	}
+	nsets := sizeBytes / (ways * lineBytes)
+	if nsets&(nsets-1) != 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("core: runahead cache sets/lines must be powers of two")
+	}
+	c := &raCache{ways: ways, mask: uint64(nsets - 1)}
+	for 1<<c.shift != lineBytes {
+		c.shift++
+	}
+	c.sets = make([][]raLine, nsets)
+	backing := make([]raLine, nsets*ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	return c
+}
+
+func (c *raCache) setOf(addr uint64) []raLine { return c.sets[(addr>>c.shift)&c.mask] }
+func (c *raCache) tagOf(addr uint64) uint64   { return addr >> c.shift }
+
+// Write records a runahead store. Poisoned data is recorded as poisoned so
+// forwarding propagates the poison.
+func (c *raCache) Write(addr uint64, value int64, poisoned bool) {
+	c.Writes++
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	vi := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			vi = i
+			goto fill
+		}
+		if !set[i].valid {
+			vi = i
+		} else if set[vi].valid && set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+fill:
+	c.stamp++
+	set[vi] = raLine{tag: tag, valid: true, poisoned: poisoned, value: value, lastUse: c.stamp}
+}
+
+// Read forwards runahead store data to a runahead load.
+func (c *raCache) Read(addr uint64) (value int64, poisoned, hit bool) {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lastUse = c.stamp
+			c.Hits++
+			return set[i].value, set[i].poisoned, true
+		}
+	}
+	c.Misses++
+	return 0, false, false
+}
+
+// Reset invalidates everything (runahead exit).
+func (c *raCache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = raLine{}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/prog"
+)
+
+// These directed microbenchmarks pin the pipeline's timing behaviour: issue
+// width, functional-unit latency, and dependency serialization must all be
+// visible in measured IPC.
+
+// serialChain builds a loop of n dependent ops of the given opcode.
+func serialChain(op isa.Opcode, n int) *prog.Program {
+	b := prog.NewBuilder("serial")
+	loop := b.Block("loop")
+	for i := 0; i < n; i++ {
+		loop.OpI(op, 1, 1, 3)
+	}
+	loop.Jmp(loop)
+	return b.MustBuild()
+}
+
+// parallelOps builds a loop of n independent ops across distinct registers.
+func parallelOps(op isa.Opcode, n int) *prog.Program {
+	b := prog.NewBuilder("parallel")
+	loop := b.Block("loop")
+	for i := 0; i < n; i++ {
+		loop.OpI(op, isa.Reg(1+i%30), isa.Reg(1+i%30), 3)
+	}
+	loop.Jmp(loop)
+	return b.MustBuild()
+}
+
+func ipcOf(t *testing.T, p *prog.Program) float64 {
+	t.Helper()
+	c := New(testConfig(ModeNone), p)
+	c.Run(5_000) // warm
+	c.ResetStats()
+	st := c.Run(30_000)
+	return st.IPC()
+}
+
+func TestSerialMulChainBoundByLatency(t *testing.T) {
+	// A dependent MULI chain can retire at most one op per MUL latency
+	// (3 cycles): IPC ≈ 1/3.
+	ipc := ipcOf(t, serialChain(isa.MULI, 24))
+	if ipc > 0.40 || ipc < 0.25 {
+		t.Fatalf("serial MUL chain IPC = %.3f, want ≈ 1/3", ipc)
+	}
+}
+
+func TestSerialAddChainBoundByLatency(t *testing.T) {
+	// A dependent ADDI chain is bound by the 1-cycle ALU: IPC ≈ 1.
+	ipc := ipcOf(t, serialChain(isa.ADDI, 24))
+	if ipc > 1.1 || ipc < 0.85 {
+		t.Fatalf("serial ADD chain IPC = %.3f, want ≈ 1", ipc)
+	}
+}
+
+func TestParallelOpsReachIssueWidth(t *testing.T) {
+	// Independent single-cycle ops should approach the 4-wide machine width
+	// (fetch's taken-branch limit shaves a little off a 31-uop body).
+	ipc := ipcOf(t, parallelOps(isa.ADDI, 30))
+	if ipc < 3.0 {
+		t.Fatalf("independent ALU IPC = %.2f, want near 4", ipc)
+	}
+}
+
+func TestDivSerializesHard(t *testing.T) {
+	// Dependent DIVs at 24-cycle latency: IPC ≈ 1/24.
+	ipc := ipcOf(t, serialChain(isa.DIV, 24))
+	if ipc > 0.06 {
+		t.Fatalf("serial DIV chain IPC = %.3f, want ≈ 0.04", ipc)
+	}
+}
+
+func TestLoadToUseLatency(t *testing.T) {
+	// A pointer-follow loop over one cached line: each iteration is a
+	// 1 (issue->AGU) + 3 (L1) load-to-use chain plus the loop overhead.
+	b := prog.NewBuilder("l2u")
+	slot := b.Alloc(64, 64)
+	b.Mem().Write64(slot, int64(slot)) // self-pointer
+	e := b.Block("e")
+	loop := b.Block("loop")
+	e.Movi(1, int64(slot)).Jmp(loop)
+	loop.Ld(1, 1, 0).Bnez(1, loop)
+	p := b.MustBuild()
+	c := New(testConfig(ModeNone), p)
+	c.Run(2_000)
+	c.ResetStats()
+	st := c.Run(10_000)
+	cyclesPerIter := 2 * float64(st.Cycles) / float64(st.Committed)
+	// The serial load-to-use path should be ~4-6 cycles per iteration.
+	if cyclesPerIter < 3.5 || cyclesPerIter > 8 {
+		t.Fatalf("load-to-use loop = %.1f cycles/iter, want ≈ 5", cyclesPerIter)
+	}
+}
+
+func TestMemPortLimitVisible(t *testing.T) {
+	// A loop of independent cached loads is bound by the 2 D-cache ports,
+	// not the 4-wide issue width.
+	b := prog.NewBuilder("ports")
+	base := b.Alloc(4096, 64)
+	e := b.Block("e")
+	loop := b.Block("loop")
+	e.Movi(1, int64(base)).Jmp(loop)
+	for i := 0; i < 16; i++ {
+		loop.Ld(isa.Reg(2+i%8), 1, int64(i*8))
+	}
+	loop.Jmp(loop)
+	p := b.MustBuild()
+	c := New(testConfig(ModeNone), p)
+	c.Run(2_000)
+	c.ResetStats()
+	st := c.Run(30_000)
+	ipc := st.IPC()
+	if ipc > 2.4 {
+		t.Fatalf("all-load IPC = %.2f; the 2 memory ports should cap it near 2", ipc)
+	}
+	if ipc < 1.5 {
+		t.Fatalf("all-load IPC = %.2f implausibly low", ipc)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives a line per pipeline event. Attach one with SetTracer to
+// watch the machine cycle by cycle; the zero-cost default is off. The format
+// is one event per line:
+//
+//	cycle=123 fetch    seq=45 pc=0x400048 muli
+//	cycle=125 dispatch seq=45 rob=17
+//	cycle=127 issue    seq=45
+//	cycle=128 complete seq=45 val=90
+//	cycle=130 commit   seq=45
+//	cycle=140 runahead enter pc=0x400080 mode=buffer chain=9
+//	cycle=260 runahead exit  misses=7
+type Tracer struct {
+	w     io.Writer
+	limit int64 // stop tracing after this cycle (0 = no limit)
+}
+
+// SetTracer starts emitting pipeline events to w until cycle limit (0 for
+// unlimited). Passing nil w disables tracing.
+func (c *Core) SetTracer(w io.Writer, limit int64) {
+	if w == nil {
+		c.tracer = nil
+		return
+	}
+	c.tracer = &Tracer{w: w, limit: limit}
+}
+
+func (c *Core) tracef(format string, args ...any) {
+	t := c.tracer
+	if t == nil || (t.limit > 0 && c.now > t.limit) {
+		return
+	}
+	fmt.Fprintf(t.w, "cycle=%d ", c.now)
+	fmt.Fprintf(t.w, format, args...)
+	fmt.Fprintln(t.w)
+}
+
+func (c *Core) traceFetch(d *DynInst) {
+	if c.tracer != nil {
+		c.tracef("fetch    seq=%d pc=%#x %v predTaken=%v", d.Seq, d.PC, d.U.Op, d.PredTaken)
+	}
+}
+
+func (c *Core) traceDispatch(d *DynInst) {
+	if c.tracer != nil {
+		src := ""
+		if d.FromBuffer {
+			src = " from=buffer"
+		}
+		c.tracef("dispatch seq=%d pc=%#x rob=%d%s", d.Seq, d.PC, d.ROBPos, src)
+	}
+}
+
+func (c *Core) traceIssue(d *DynInst) {
+	if c.tracer != nil {
+		c.tracef("issue    seq=%d %v", d.Seq, d.U.Op)
+	}
+}
+
+func (c *Core) traceComplete(d *DynInst) {
+	if c.tracer != nil {
+		extra := ""
+		if d.Poisoned {
+			extra = " POISONED"
+		} else if d.U.Op.IsMem() {
+			extra = fmt.Sprintf(" ea=%#x lvl=%v", d.EA, d.MemLevel)
+		}
+		c.tracef("complete seq=%d %v val=%d%s", d.Seq, d.U.Op, d.Value, extra)
+	}
+}
+
+func (c *Core) traceCommit(d *DynInst, pseudo bool) {
+	if c.tracer != nil {
+		kind := "commit  "
+		if pseudo {
+			kind = "pretire "
+		}
+		c.tracef("%s seq=%d pc=%#x", kind, d.Seq, d.PC)
+	}
+}
+
+func (c *Core) traceRunahead(event string, args ...any) {
+	if c.tracer != nil {
+		c.tracef("runahead "+event, args...)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerEmitsPipelineEvents(t *testing.T) {
+	var sb strings.Builder
+	c := New(testConfig(ModeNone), simpleLoop())
+	c.SetTracer(&sb, 0)
+	c.Run(200)
+	out := sb.String()
+	for _, want := range []string{"fetch", "dispatch", "issue", "complete", "commit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q events:\n%.500s", want, out)
+		}
+	}
+	if !strings.Contains(out, "cycle=") {
+		t.Fatal("trace lines must carry cycles")
+	}
+}
+
+func TestTracerRunaheadEvents(t *testing.T) {
+	var sb strings.Builder
+	c := New(testConfig(ModeBufferCC), gatherLoop(8))
+	c.SetTracer(&sb, 0)
+	c.Run(5_000)
+	out := sb.String()
+	if !strings.Contains(out, "runahead enter") || !strings.Contains(out, "mode=buffer") {
+		t.Fatal("trace missing runahead entry")
+	}
+	if !strings.Contains(out, "runahead exit") {
+		t.Fatal("trace missing runahead exit")
+	}
+	if !strings.Contains(out, "pretire") {
+		t.Fatal("trace missing pseudo-retirement")
+	}
+	if !strings.Contains(out, "from=buffer") {
+		t.Fatal("trace missing buffer-injected dispatches")
+	}
+}
+
+func TestTracerLimitStopsOutput(t *testing.T) {
+	var sb strings.Builder
+	c := New(testConfig(ModeNone), simpleLoop())
+	c.SetTracer(&sb, 50)
+	c.Run(2_000)
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if !strings.HasPrefix(line, "cycle=") {
+			continue
+		}
+		var cy int64
+		if _, err := fmtSscanf(line, &cy); err != nil {
+			t.Fatalf("unparseable trace line %q", line)
+		}
+		if cy > 50 {
+			t.Fatalf("trace line beyond the limit: %q", line)
+		}
+	}
+	c.SetTracer(nil, 0)
+	n := sb.Len()
+	c.Run(3_000)
+	if sb.Len() != n {
+		t.Fatal("disabled tracer still wrote")
+	}
+}
+
+// fmtSscanf extracts the cycle number from a trace line.
+func fmtSscanf(line string, cy *int64) (int, error) {
+	rest := strings.TrimPrefix(line, "cycle=")
+	i := strings.IndexByte(rest, ' ')
+	if i < 0 {
+		i = len(rest)
+	}
+	var v int64
+	for _, ch := range rest[:i] {
+		if ch < '0' || ch > '9' {
+			return 0, errBadTrace
+		}
+		v = v*10 + int64(ch-'0')
+	}
+	*cy = v
+	return 1, nil
+}
+
+var errBadTrace = errorString("bad trace line")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

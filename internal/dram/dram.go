@@ -1,0 +1,261 @@
+// Package dram models the DDR3 main memory of Table 1: two channels, one
+// rank of eight banks per channel, 8KB rows, CAS 13.75ns, an 800 MHz data
+// bus, bank conflicts, and FR-FCFS scheduling out of a 64-entry memory queue.
+// All timing is expressed in core cycles (3.2 GHz), so 13.75ns ≈ 44 cycles
+// and one 64-byte burst occupies the channel's data bus for 16 cycles.
+//
+// The model is intentionally at the "bank state machine + queue" level: row
+// hits cost tCAS, closed banks cost tRCD+tCAS, conflicts cost tRP+tRCD+tCAS,
+// and each channel's data bus serializes transfers. That reproduces the
+// non-uniform access latency runahead exploits — latency rises steeply with
+// queue depth and falls with row locality — without simulating DRAM command
+// buses cycle by cycle.
+package dram
+
+import "runaheadsim/internal/stats"
+
+// Config holds DRAM geometry and timing (core cycles).
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int
+	LineBytes       int
+
+	TCAS           int // column access, row already open
+	TRCD           int // row activate
+	TRP            int // precharge
+	TransferCycles int // data bus occupancy per line
+	QueueCap       int // total memory queue entries (Table 1: 64)
+	// StarvationLimit escalates any request older than this many cycles to
+	// highest priority, as real FR-FCFS controllers do — otherwise a stream
+	// of row hits (e.g. from runahead racing down an array) can starve an
+	// older conflicting request indefinitely.
+	StarvationLimit int64
+
+	// RefreshInterval (tREFI) and RefreshCycles (tRFC) model periodic
+	// refresh: every RefreshInterval cycles each channel precharges all rows
+	// and is unavailable for RefreshCycles. Zero disables refresh.
+	RefreshInterval int64
+	RefreshCycles   int64
+}
+
+// DefaultConfig matches Table 1 at a 3.2 GHz core clock.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		LineBytes:       64,
+		TCAS:            44, // 13.75ns
+		TRCD:            44,
+		TRP:             44,
+		TransferCycles:  16, // 64B over a 64-bit DDR bus at 800MHz, in 3.2GHz cycles
+		QueueCap:        64,
+		StarvationLimit: 280,
+		RefreshInterval: 24960, // tREFI = 7.8us at 3.2 GHz
+		RefreshCycles:   512,   // tRFC = 160ns
+	}
+}
+
+// Request is one line-granularity DRAM access.
+type Request struct {
+	LineAddr uint64
+	Write    bool
+	Arrival  int64
+	// Done is called at the cycle the last data beat leaves the bus. Nil is
+	// allowed (writebacks usually don't need completion).
+	Done func(cycle int64)
+
+	channel, bank int
+	row           uint64
+}
+
+type bank struct {
+	openRow uint64
+	hasOpen bool
+	readyAt int64
+}
+
+// Controller is the memory controller plus DRAM devices.
+type Controller struct {
+	cfg     Config
+	queues  [][]*Request
+	banks   [][]bank
+	busAt   []int64
+	queued  int
+	nextRef []int64
+
+	// Statistics.
+	Refreshes    uint64
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed bank
+	RowConflicts uint64 // wrong row open
+	Rejects      uint64 // enqueue attempts while full
+	Latency      *stats.Histogram
+}
+
+// New returns an idle controller.
+func New(cfg Config) *Controller {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.QueueCap <= 0 {
+		panic("dram: invalid configuration")
+	}
+	c := &Controller{
+		cfg:     cfg,
+		queues:  make([][]*Request, cfg.Channels),
+		banks:   make([][]bank, cfg.Channels),
+		busAt:   make([]int64, cfg.Channels),
+		nextRef: make([]int64, cfg.Channels),
+		Latency: stats.NewHistogram(64, 16),
+	}
+	for i := range c.banks {
+		c.banks[i] = make([]bank, cfg.BanksPerChannel)
+		if cfg.RefreshInterval > 0 {
+			// Stagger channel refreshes so they don't align.
+			c.nextRef[i] = cfg.RefreshInterval * int64(i+1) / int64(cfg.Channels)
+		}
+	}
+	return c
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// mapAddr splits a line address into channel, bank and row. Consecutive
+// lines interleave across channels, then banks. Higher address bits are
+// XOR-folded into the channel and bank selection (permutation-based
+// interleaving in the style of Zhang/Zhu/Zhang, MICRO 2000), as real memory
+// controllers do — otherwise power-of-two strides camp on a single bank of a
+// single channel and serialize on row conflicts.
+func (c *Controller) mapAddr(lineAddr uint64) (ch, bk int, row uint64) {
+	ln := lineAddr / uint64(c.cfg.LineBytes)
+	ch = int((ln ^ (ln >> 1) ^ (ln >> 5) ^ (ln >> 9) ^ (ln >> 13)) % uint64(c.cfg.Channels))
+	lnc := ln / uint64(c.cfg.Channels)
+	linesPerRow := uint64(c.cfg.RowBytes / c.cfg.LineBytes)
+	row = lnc / uint64(c.cfg.BanksPerChannel) / linesPerRow
+	bk = int((lnc ^ (lnc >> 3) ^ (lnc >> 7) ^ (lnc >> 11) ^ row) % uint64(c.cfg.BanksPerChannel))
+	return ch, bk, row
+}
+
+// Pending returns the number of queued (not yet granted) requests.
+func (c *Controller) Pending() int { return c.queued }
+
+// Enqueue adds a request to the memory queue. It reports false (and counts a
+// rejection) when the 64-entry queue is full; the caller must retry later.
+func (c *Controller) Enqueue(r *Request) bool {
+	if c.queued >= c.cfg.QueueCap {
+		c.Rejects++
+		return false
+	}
+	r.channel, r.bank, r.row = c.mapAddr(r.LineAddr)
+	c.queues[r.channel] = append(c.queues[r.channel], r)
+	c.queued++
+	return true
+}
+
+// Tick advances the controller to cycle now, granting at most one request per
+// channel per cycle under FR-FCFS: row-hit reads first, then any ready read,
+// then row-hit writes, then any ready write; age breaks ties.
+func (c *Controller) Tick(now int64) {
+	for ch := range c.queues {
+		// Periodic refresh: precharge-all, bank unavailability for tRFC.
+		if c.cfg.RefreshInterval > 0 && now >= c.nextRef[ch] {
+			c.Refreshes++
+			c.nextRef[ch] += c.cfg.RefreshInterval
+			for b := range c.banks[ch] {
+				bk := &c.banks[ch][b]
+				bk.hasOpen = false
+				if r := now + c.cfg.RefreshCycles; r > bk.readyAt {
+					bk.readyAt = r
+				}
+			}
+		}
+		q := c.queues[ch]
+		if len(q) == 0 {
+			continue
+		}
+		best := -1
+		bestClass := 5
+		for i, r := range q {
+			b := &c.banks[ch][r.bank]
+			if b.readyAt > now {
+				continue
+			}
+			hit := b.hasOpen && b.openRow == r.row
+			class := 0
+			switch {
+			case c.cfg.StarvationLimit > 0 && now-r.Arrival > c.cfg.StarvationLimit:
+				class = 0 // starving: jump the row-hit queue
+			case hit && !r.Write:
+				class = 1
+			case !r.Write:
+				class = 2
+			case hit:
+				class = 3
+			default:
+				class = 4
+			}
+			if class < bestClass {
+				best, bestClass = i, class
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		r := q[best]
+		c.queues[ch] = append(q[:best], q[best+1:]...)
+		c.queued--
+		c.grant(r, now)
+	}
+}
+
+func (c *Controller) grant(r *Request, now int64) {
+	b := &c.banks[r.channel][r.bank]
+	var access int
+	switch {
+	case b.hasOpen && b.openRow == r.row:
+		access = c.cfg.TCAS
+		c.RowHits++
+	case !b.hasOpen:
+		access = c.cfg.TRCD + c.cfg.TCAS
+		c.RowMisses++
+	default:
+		access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		c.RowConflicts++
+	}
+	// Banks work in parallel; only the data transfer serializes on the
+	// channel's bus.
+	dataAt := now + int64(access)
+	transferStart := dataAt
+	if c.busAt[r.channel] > transferStart {
+		transferStart = c.busAt[r.channel]
+	}
+	finish := transferStart + int64(c.cfg.TransferCycles)
+	b.openRow, b.hasOpen = r.row, true
+	b.readyAt = dataAt
+	c.busAt[r.channel] = finish
+	if r.Write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	c.Latency.Observe(uint64(finish - r.Arrival))
+	if r.Done != nil {
+		r.Done(finish)
+	}
+}
+
+// Activates returns the number of row activations performed (for the energy
+// model: every miss or conflict activates a row).
+func (c *Controller) Activates() uint64 { return c.RowMisses + c.RowConflicts }
+
+// Requests returns the total granted request count.
+func (c *Controller) Requests() uint64 { return c.Reads + c.Writes }
+
+// ResetStats zeroes the statistics counters, preserving bank and queue state.
+func (c *Controller) ResetStats() {
+	c.Reads, c.Writes = 0, 0
+	c.RowHits, c.RowMisses, c.RowConflicts, c.Rejects = 0, 0, 0, 0
+	c.Latency = stats.NewHistogram(64, 16)
+}

@@ -1,0 +1,296 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// run ticks the controller until n requests complete or maxCycles pass,
+// returning the completion cycles.
+func run(t *testing.T, c *Controller, reqs []*Request, maxCycles int64) []int64 {
+	t.Helper()
+	var done []int64
+	for _, r := range reqs {
+		r.Done = func(cycle int64) { done = append(done, cycle) }
+		if !c.Enqueue(r) {
+			t.Fatal("enqueue rejected in test setup")
+		}
+	}
+	for now := int64(0); now < maxCycles && len(done) < len(reqs); now++ {
+		c.Tick(now)
+	}
+	if len(done) < len(reqs) {
+		t.Fatalf("only %d/%d requests completed in %d cycles", len(done), len(reqs), maxCycles)
+	}
+	return done
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c := New(DefaultConfig())
+	done := run(t, c, []*Request{{LineAddr: 0, Arrival: 0}}, 1000)
+	// Cold bank: tRCD + tCAS + transfer = 44+44+16 = 104, granted at cycle 0.
+	if done[0] != 104 {
+		t.Fatalf("cold read completed at %d, want 104", done[0])
+	}
+	if c.RowMisses != 1 || c.RowHits != 0 {
+		t.Fatalf("row stats: hits=%d misses=%d", c.RowHits, c.RowMisses)
+	}
+}
+
+// findAddr scans line addresses for the first one (above start) whose
+// mapping satisfies pred.
+func findAddr(c *Controller, start uint64, pred func(ch, bk int, row uint64) bool) uint64 {
+	for a := start; a < 1<<30; a += 64 {
+		if pred(c.mapAddr(a)) {
+			return a
+		}
+	}
+	panic("dram test: no address found")
+}
+
+func TestRowHitFaster(t *testing.T) {
+	c := New(DefaultConfig())
+	chA, bkA, rowA := c.mapAddr(0)
+	b := findAddr(c, 64, func(ch, bk int, row uint64) bool {
+		return ch == chA && bk == bkA && row == rowA
+	})
+	done := run(t, c, []*Request{{LineAddr: 0}, {LineAddr: b}}, 2000)
+	if c.RowHits != 1 {
+		t.Fatalf("expected one row hit, got %d", c.RowHits)
+	}
+	gap := done[1] - done[0]
+	// The row hit still pays tCAS+transfer but no activate.
+	if gap >= 104 {
+		t.Fatalf("row hit gap %d should be far below the cold latency", gap)
+	}
+}
+
+func TestRowConflictSlower(t *testing.T) {
+	c := New(DefaultConfig())
+	chA, bkA, rowA := c.mapAddr(0)
+	b := findAddr(c, 64, func(ch, bk int, row uint64) bool {
+		return ch == chA && bk == bkA && row != rowA
+	})
+	run(t, c, []*Request{{LineAddr: 0}, {LineAddr: b}}, 2000)
+	if c.RowConflicts != 1 {
+		t.Fatalf("expected one row conflict, got %d (hits=%d misses=%d)", c.RowConflicts, c.RowHits, c.RowMisses)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	// Two requests on different channels complete at the same cycle; two on
+	// the same channel (different banks) serialize on the data bus.
+	c1 := New(cfg)
+	chA, _, _ := c1.mapAddr(0)
+	other := findAddr(c1, 64, func(ch, bk int, row uint64) bool { return ch != chA })
+	d1 := run(t, c1, []*Request{{LineAddr: 0}, {LineAddr: other}}, 2000)
+	if d1[0] != d1[1] {
+		t.Fatalf("different channels should overlap fully: %v", d1)
+	}
+	c2 := New(cfg)
+	chA2, bkA2, _ := c2.mapAddr(0)
+	sameCh := findAddr(c2, 64, func(ch, bk int, row uint64) bool { return ch == chA2 && bk != bkA2 })
+	d2 := run(t, c2, []*Request{{LineAddr: 0}, {LineAddr: sameCh}}, 2000)
+	if d2[1] == d2[0] {
+		t.Fatal("same-channel requests cannot finish simultaneously")
+	}
+}
+
+func TestBankLevelParallelismBeatsSameBank(t *testing.T) {
+	cfg := DefaultConfig()
+	probe := New(cfg)
+	chA, bkA, rowA := probe.mapAddr(0)
+	otherBank := findAddr(probe, 64, func(ch, bk int, row uint64) bool { return ch == chA && bk != bkA })
+	conflict := findAddr(probe, 64, func(ch, bk int, row uint64) bool { return ch == chA && bk == bkA && row != rowA })
+
+	diff := New(cfg)
+	dDiff := run(t, diff, []*Request{{LineAddr: 0}, {LineAddr: otherBank}}, 4000)
+	same := New(cfg)
+	dSame := run(t, same, []*Request{{LineAddr: 0}, {LineAddr: conflict}}, 4000)
+	if maxOf(dDiff) >= maxOf(dSame) {
+		t.Fatalf("bank parallelism (%d) should beat bank conflict (%d)", maxOf(dDiff), maxOf(dSame))
+	}
+}
+
+// TestPowerOfTwoStrideSpreads is the regression behind the XOR interleaving:
+// a 2KB stride must not camp on one bank of one channel.
+func TestPowerOfTwoStrideSpreads(t *testing.T) {
+	c := New(DefaultConfig())
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 64; i++ {
+		ch, bk, _ := c.mapAddr(uint64(i) * 2048)
+		seen[[2]int{ch, bk}] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("2KB stride touches only %d channel/bank pairs", len(seen))
+	}
+}
+
+func maxOf(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestReadPriorityOverWrite(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	var order []bool // true = write granted
+	mk := func(addr uint64, wr bool) *Request {
+		return &Request{LineAddr: addr, Write: wr, Done: func(int64) { order = append(order, wr) }}
+	}
+	// Same channel, different bank so only FR-FCFS class ordering decides.
+	chA, bkA, _ := c.mapAddr(0)
+	other := findAddr(c, 64, func(ch, bk int, row uint64) bool { return ch == chA && bk != bkA })
+	// Enqueue write first; the read should still be granted first.
+	if !c.Enqueue(mk(0, true)) || !c.Enqueue(mk(other, false)) {
+		t.Fatal("enqueue failed")
+	}
+	for now := int64(0); now < 1000 && len(order) < 2; now++ {
+		c.Tick(now)
+	}
+	if len(order) != 2 || order[0] != false {
+		t.Fatalf("grant order = %v, want read first", order)
+	}
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("reads/writes = %d/%d", c.Reads, c.Writes)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueCap = 4
+	c := New(cfg)
+	for i := 0; i < 4; i++ {
+		if !c.Enqueue(&Request{LineAddr: uint64(i * 64)}) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if c.Enqueue(&Request{LineAddr: 0x9000}) {
+		t.Fatal("enqueue beyond capacity must fail")
+	}
+	if c.Rejects != 1 {
+		t.Fatal("rejection not counted")
+	}
+	if c.Pending() != 4 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestMapAddrCoversAllBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < cfg.Channels*cfg.BanksPerChannel; i++ {
+		ch, bk, _ := c.mapAddr(uint64(i * cfg.LineBytes))
+		seen[[2]int{ch, bk}] = true
+	}
+	if len(seen) != cfg.Channels*cfg.BanksPerChannel {
+		t.Fatalf("sequential lines touched %d of %d channel/bank pairs", len(seen), cfg.Channels*cfg.BanksPerChannel)
+	}
+}
+
+// Property: completion cycle is always at least arrival + tCAS + transfer,
+// and every enqueued request eventually completes.
+func TestPropertyMinimumLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(addrs []uint16) bool {
+		c := New(cfg)
+		min := int64(cfg.TCAS + cfg.TransferCycles)
+		n := len(addrs)
+		if n > cfg.QueueCap {
+			n = cfg.QueueCap
+		}
+		completed := 0
+		ok := true
+		for i := 0; i < n; i++ {
+			addr := uint64(addrs[i]) * 64
+			c.Enqueue(&Request{LineAddr: addr, Arrival: 0, Done: func(cy int64) {
+				completed++
+				if cy < min {
+					ok = false
+				}
+			}})
+		}
+		for now := int64(0); now < 100000 && completed < n; now++ {
+			c.Tick(now)
+		}
+		return ok && completed == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshBlocksBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 1000
+	cfg.RefreshCycles = 200
+	c := New(cfg)
+	// Tick past the first refresh of channel of address 0, then issue: the
+	// request must wait out tRFC.
+	ch, _, _ := c.mapAddr(0)
+	refAt := c.nextRef[ch]
+	for now := int64(0); now <= refAt; now++ {
+		c.Tick(now)
+	}
+	if c.Refreshes == 0 {
+		t.Fatal("refresh never fired")
+	}
+	var doneAt int64 = -1
+	if !c.Enqueue(&Request{LineAddr: 0, Arrival: refAt, Done: func(cy int64) { doneAt = cy }}) {
+		t.Fatal("enqueue failed")
+	}
+	for now := refAt + 1; now < refAt+2000 && doneAt < 0; now++ {
+		c.Tick(now)
+	}
+	min := refAt + cfg.RefreshCycles // bank busy until tRFC elapses
+	if doneAt < min {
+		t.Fatalf("request completed at %d, before refresh window ended (%d)", doneAt, min)
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 2000
+	cfg.RefreshCycles = 100
+	c := New(cfg)
+	// Open a row, cross a refresh, access the same row again: it must be a
+	// row miss (precharge-all closed it), not a hit.
+	done := 0
+	c.Enqueue(&Request{LineAddr: 0, Done: func(int64) { done++ }})
+	for now := int64(0); now < 500 && done < 1; now++ {
+		c.Tick(now)
+	}
+	for now := int64(500); now < 4500; now++ {
+		c.Tick(now) // crosses every channel's refresh at least once
+	}
+	hits := c.RowHits
+	c.Enqueue(&Request{LineAddr: 0, Arrival: 4500, Done: func(int64) { done++ }})
+	for now := int64(4500); now < 6000 && done < 2; now++ {
+		c.Tick(now)
+	}
+	if done != 2 {
+		t.Fatal("second request never completed")
+	}
+	if c.RowHits != hits {
+		t.Fatal("row survived a refresh; precharge-all not modeled")
+	}
+}
+
+func TestRefreshDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 0
+	c := New(cfg)
+	for now := int64(0); now < 100000; now++ {
+		c.Tick(now)
+	}
+	if c.Refreshes != 0 {
+		t.Fatal("refresh fired while disabled")
+	}
+}

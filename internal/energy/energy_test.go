@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"testing"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/workload"
+)
+
+func runMode(t *testing.T, name string, mode core.Mode, n uint64) (Breakdown, *core.Stats) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	c := core.New(cfg, workload.MustLoad(name))
+	c.Run(20_000)
+	c.ResetStats()
+	st := c.Run(n)
+	return Compute(DefaultParams(), Measure(c)), st
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	b, _ := runMode(t, "mcf", core.ModeNone, 30_000)
+	for name, v := range map[string]float64{
+		"frontend": b.FrontEnd, "backend": b.Backend, "caches": b.Caches,
+		"leakage": b.CoreLeakage, "dramDyn": b.DRAMDynamic, "dramStatic": b.DRAMStatic,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s = %v, want positive", name, v)
+		}
+	}
+	if b.Total() <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+	if b.RunaheadHW != 0 {
+		t.Fatal("baseline must not charge runahead hardware")
+	}
+}
+
+func TestFrontEndShareIsSubstantial(t *testing.T) {
+	// The paper's premise: front-end power can reach 40% of core power. Check
+	// the FE share of core dynamic energy on a compute-bound benchmark.
+	b, _ := runMode(t, "calculix", core.ModeNone, 30_000)
+	coreDyn := b.FrontEnd + b.Backend
+	share := b.FrontEnd / coreDyn
+	if share < 0.25 || share > 0.55 {
+		t.Fatalf("front-end share of core dynamic = %.2f, want ~0.4", share)
+	}
+}
+
+func TestTraditionalRunaheadCostsEnergy(t *testing.T) {
+	base, bst := runMode(t, "mcf", core.ModeNone, 30_000)
+	ra, rst := runMode(t, "mcf", core.ModeTraditional, 30_000)
+	// Traditional runahead fetches and decodes far more uops.
+	if rst.Fetched <= bst.Fetched {
+		t.Fatal("traditional runahead should fetch more uops than baseline")
+	}
+	if ra.FrontEnd <= base.FrontEnd {
+		t.Fatalf("traditional runahead FE energy %.1f should exceed baseline %.1f",
+			ra.FrontEnd, base.FrontEnd)
+	}
+}
+
+func TestBufferSpendsLessFrontEndThanTraditional(t *testing.T) {
+	trad, _ := runMode(t, "mcf", core.ModeTraditional, 30_000)
+	buf, bst := runMode(t, "mcf", core.ModeBufferCC, 30_000)
+	if bst.BufferUopsIssued == 0 {
+		t.Fatal("buffer never used")
+	}
+	if buf.FrontEnd >= trad.FrontEnd {
+		t.Fatalf("buffer FE energy %.1f should be below traditional %.1f",
+			buf.FrontEnd, trad.FrontEnd)
+	}
+	if buf.RunaheadHW == 0 {
+		t.Fatal("buffer must charge chain-generation/checkpoint energy")
+	}
+}
+
+func TestLeakageScalesWithRuntime(t *testing.T) {
+	p := DefaultParams()
+	a := Activity{Stats: &core.Stats{Cycles: 1000}}
+	b1 := Compute(p, a)
+	a.Stats = &core.Stats{Cycles: 2000}
+	b2 := Compute(p, a)
+	if b2.CoreLeakage != 2*b1.CoreLeakage || b2.DRAMStatic != 2*b1.DRAMStatic {
+		t.Fatal("static energy must scale linearly with cycles")
+	}
+}
+
+func TestDRAMEnergyScalesWithTraffic(t *testing.T) {
+	p := DefaultParams()
+	a := Activity{Stats: &core.Stats{}, DRAMReads: 100, DRAMActivates: 50}
+	b1 := Compute(p, a)
+	a.DRAMReads, a.DRAMActivates = 200, 100
+	b2 := Compute(p, a)
+	if b2.DRAMDynamic != 2*b1.DRAMDynamic {
+		t.Fatal("DRAM dynamic energy must scale with traffic")
+	}
+}
+
+// TestEnergyShapeMatchesPaper reproduces the headline energy ordering on a
+// buffer-friendly workload: traditional runahead costs energy vs baseline;
+// the runahead buffer costs less than traditional runahead.
+func TestEnergyShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	base, _ := runMode(t, "mcf", core.ModeNone, 40_000)
+	trad, _ := runMode(t, "mcf", core.ModeTraditional, 40_000)
+	buf, _ := runMode(t, "mcf", core.ModeBufferCC, 40_000)
+	if trad.Total() <= base.Total() {
+		t.Fatalf("traditional runahead total %.1f should exceed baseline %.1f (paper: +44%%)",
+			trad.Total(), base.Total())
+	}
+	if buf.Total() >= trad.Total() {
+		t.Fatalf("runahead buffer total %.1f should be below traditional %.1f",
+			buf.Total(), trad.Total())
+	}
+}

@@ -1,0 +1,195 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: it runs (benchmark, configuration) pairs on the simulator,
+// memoizes the results, and formats them as text tables matching the rows
+// and series the paper reports. cmd/runahead-sweep and the repository's
+// bench_test.go are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/energy"
+	"runaheadsim/internal/workload"
+)
+
+// RunConfig selects one simulated system (one bar color in the figures).
+type RunConfig struct {
+	Mode         core.Mode
+	Enhancements bool
+	Prefetch     bool
+	DepTrack     bool
+
+	// Sensitivity overrides (0 = Table 1 value). MaxChain sets both the
+	// runahead buffer size and the chain-length cap; CCEntries sets the
+	// chain cache entry count.
+	MaxChain  int
+	CCEntries int
+
+	// PFKind selects the prefetch engine when Prefetch is set: "" or
+	// "stream" for the paper's stream prefetcher, "delta" for the
+	// region-delta (stride) alternative.
+	PFKind string
+}
+
+// The systems evaluated in Section 6.
+var (
+	Baseline    = RunConfig{Mode: core.ModeNone}
+	Runahead    = RunConfig{Mode: core.ModeTraditional}
+	RunaheadEnh = RunConfig{Mode: core.ModeTraditional, Enhancements: true}
+	Buffer      = RunConfig{Mode: core.ModeBuffer}
+	BufferCC    = RunConfig{Mode: core.ModeBufferCC}
+	Hybrid      = RunConfig{Mode: core.ModeHybrid, Enhancements: true}
+)
+
+// WithPF returns the configuration with the stream prefetcher enabled.
+func (rc RunConfig) WithPF() RunConfig { rc.Prefetch = true; return rc }
+
+// WithDepTrack returns the configuration with Figure 2-5 instrumentation.
+func (rc RunConfig) WithDepTrack() RunConfig { rc.DepTrack = true; return rc }
+
+// Label names the configuration the way the figures do.
+func (rc RunConfig) Label() string {
+	var s string
+	switch {
+	case rc.Mode == core.ModeNone && rc.Prefetch:
+		return "PF"
+	case rc.Mode == core.ModeNone:
+		return "Base"
+	case rc.Mode == core.ModeTraditional && rc.Enhancements:
+		s = "RA-Enh"
+	case rc.Mode == core.ModeTraditional:
+		s = "RA"
+	case rc.Mode == core.ModeBuffer:
+		s = "RB"
+	case rc.Mode == core.ModeBufferCC:
+		s = "RB+CC"
+	default:
+		s = "Hybrid"
+	}
+	if rc.Prefetch {
+		s += "+PF"
+	}
+	return s
+}
+
+// Result summarizes one (benchmark, configuration) run.
+type Result struct {
+	Bench  string
+	Config RunConfig
+
+	Stats  *core.Stats
+	Energy energy.Breakdown
+
+	IPC          float64
+	MPKI         float64
+	MemStallPct  float64
+	DRAMRequests uint64
+
+	// Chains holds Figure 7-style renderings of the dependence chains left
+	// in the chain cache at the end of the run (at most two).
+	Chains []string
+}
+
+// Options tunes harness runs. MeasureUops trades fidelity for speed; the
+// paper simulated 50M-instruction SimPoints, but the synthetic kernels are
+// phase-free so their steady state emerges within a few hundred thousand.
+type Options struct {
+	MeasureUops uint64
+	WarmupUops  uint64 // 0 = automatic (longer for small-footprint benchmarks)
+	// Benchmarks restricts figures to a subset (nil = the figure's full
+	// set). Used by the scaled-down `go test -bench` harness.
+	Benchmarks []string
+	Progress   func(bench, config string)
+}
+
+// DefaultOptions is the sweep default.
+func DefaultOptions() Options {
+	return Options{MeasureUops: 150_000}
+}
+
+func (o Options) warmup(class workload.Class) uint64 {
+	if o.WarmupUops > 0 {
+		return o.WarmupUops
+	}
+	if class == workload.Low {
+		// Small footprints must wrap before steady-state MPKI emerges.
+		return 500_000
+	}
+	return 100_000
+}
+
+// Runner memoizes simulation runs across figures, since most figures share
+// configurations.
+type Runner struct {
+	opts  Options
+	cache map[string]*Result
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opts Options) *Runner {
+	if opts.MeasureUops == 0 {
+		opts.MeasureUops = DefaultOptions().MeasureUops
+	}
+	return &Runner{opts: opts, cache: make(map[string]*Result)}
+}
+
+func key(bench string, rc RunConfig) string {
+	return fmt.Sprintf("%s|%v|%v|%v|%v|%d|%d|%s", bench, rc.Mode, rc.Enhancements, rc.Prefetch, rc.DepTrack, rc.MaxChain, rc.CCEntries, rc.PFKind)
+}
+
+// Result runs (or returns the cached run of) one benchmark under one
+// configuration.
+func (r *Runner) Result(bench string, rc RunConfig) *Result {
+	k := key(bench, rc)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	spec, ok := workload.SpecOf(bench)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
+	}
+	if r.opts.Progress != nil {
+		r.opts.Progress(bench, rc.Label())
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mode = rc.Mode
+	cfg.Enhancements = rc.Enhancements
+	cfg.Mem.EnablePrefetch = rc.Prefetch
+	cfg.DepTrack = rc.DepTrack
+	if rc.MaxChain > 0 {
+		cfg.MaxChainLength = rc.MaxChain
+		cfg.RunaheadBufferSize = rc.MaxChain
+	}
+	if rc.CCEntries > 0 {
+		cfg.ChainCacheEntries = rc.CCEntries
+	}
+	if rc.PFKind != "" {
+		cfg.Mem.PrefetchKind = rc.PFKind
+	}
+
+	c := core.New(cfg, workload.MustLoad(bench))
+	c.Run(r.opts.warmup(spec.Class))
+	c.ResetStats()
+	st := c.Run(r.opts.MeasureUops)
+
+	res := &Result{
+		Bench:        bench,
+		Config:       rc,
+		Stats:        st,
+		Energy:       energy.Compute(energy.DefaultParams(), energy.Measure(c)),
+		IPC:          st.IPC(),
+		MPKI:         1000 * float64(c.Hierarchy().LLCDemandMisses) / float64(st.Committed),
+		MemStallPct:  100 * float64(st.MemStallCycles) / float64(st.Cycles),
+		DRAMRequests: c.Hierarchy().TotalDRAMRequests(),
+	}
+	for _, ch := range c.CachedChains() {
+		ch := ch
+		res.Chains = append(res.Chains, ch.String())
+	}
+	r.cache[k] = res
+	return res
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }

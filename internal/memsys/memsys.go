@@ -1,0 +1,544 @@
+// Package memsys assembles the memory hierarchy of Table 1: 32KB L1
+// instruction and data caches (3-cycle), a 1MB inclusive last-level cache
+// (18-cycle), MSHRs at each level, the stream prefetcher (prefetching into
+// the LLC), and the DDR3 memory controller. It is a pure timing model —
+// data values live in the functional memory image owned by the core.
+//
+// The hierarchy is driven by the core clock: call Tick once per cycle, and
+// issue accesses with Load/Store/Fetch. Completion is delivered through
+// callbacks carrying the cycle and the deepest level the access reached.
+// Loads may be issued "no-wait" (runahead semantics): the callback then
+// fires as soon as an LLC miss is discovered, while the fill itself keeps
+// going in the background — that background fill is exactly runahead's
+// prefetching effect.
+package memsys
+
+import (
+	"container/heap"
+	"fmt"
+
+	"runaheadsim/internal/cache"
+	"runaheadsim/internal/dram"
+	"runaheadsim/internal/prefetch"
+)
+
+// Level is the deepest level an access had to reach.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelLLC
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelLLC:
+		return "LLC"
+	default:
+		return "Mem"
+	}
+}
+
+// Outcome reports the completion of an access.
+type Outcome struct {
+	When  int64
+	Level Level
+}
+
+// Config describes the hierarchy.
+type Config struct {
+	L1I, L1D, LLC                cache.Config
+	L1Latency, LLCLatency        int
+	L1DMSHRs, L1IMSHRs, LLCMSHRs int
+	DRAM                         dram.Config
+	// EnablePrefetch turns on the prefetcher at the LLC.
+	EnablePrefetch bool
+	// PrefetchKind selects the engine: "stream" (the paper's Table 1
+	// prefetcher, default) or "delta" (the region-delta/stride alternative
+	// from the related-work comparison).
+	PrefetchKind string
+	Prefetch     prefetch.Config
+	DeltaPF      prefetch.DeltaConfig
+}
+
+// DefaultConfig matches Table 1 (prefetcher disabled; the baseline is
+// no-prefetching).
+func DefaultConfig() Config {
+	return Config{
+		L1I:            cache.Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		L1D:            cache.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64},
+		LLC:            cache.Config{Name: "LLC", SizeBytes: 1 << 20, Ways: 8, LineBytes: 64},
+		L1Latency:      3,
+		LLCLatency:     18,
+		L1DMSHRs:       32,
+		L1IMSHRs:       8,
+		LLCMSHRs:       64,
+		DRAM:           dram.DefaultConfig(),
+		EnablePrefetch: false,
+		PrefetchKind:   "stream",
+		Prefetch:       prefetch.DefaultConfig(),
+		DeltaPF:        prefetch.DefaultDeltaConfig(),
+	}
+}
+
+type reqKind uint8
+
+const (
+	kindData reqKind = iota
+	kindInstr
+	kindPrefetch
+)
+
+// event is a scheduled closure.
+type event struct {
+	cycle int64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Hierarchy is the assembled memory system.
+type Hierarchy struct {
+	cfg Config
+
+	l1i, l1d, llc             *cache.Cache
+	l1iMSHR, l1dMSHR, llcMSHR *cache.MSHRFile
+	mem                       *dram.Controller
+	pf                        prefetch.Engine
+
+	events   eventHeap
+	seq      uint64
+	now      int64
+	dramWait []*dram.Request // overflow when the 64-entry memory queue is full
+	llcRetry []func() bool   // demand misses waiting for a free LLC MSHR
+
+	// Statistics.
+	Loads, Stores, Fetches uint64
+	LLCDemandAccesses      uint64
+	LLCDemandMisses        uint64
+	DRAMReadsDemand        uint64
+	DRAMReadsPrefetch      uint64
+	DRAMWrites             uint64
+}
+
+// New assembles an idle hierarchy.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:     cfg,
+		l1i:     cache.New(cfg.L1I),
+		l1d:     cache.New(cfg.L1D),
+		llc:     cache.New(cfg.LLC),
+		l1iMSHR: cache.NewMSHRFile(cfg.L1IMSHRs),
+		l1dMSHR: cache.NewMSHRFile(cfg.L1DMSHRs),
+		llcMSHR: cache.NewMSHRFile(cfg.LLCMSHRs),
+		mem:     dram.New(cfg.DRAM),
+	}
+	if cfg.EnablePrefetch {
+		switch cfg.PrefetchKind {
+		case "", "stream":
+			pcfg := cfg.Prefetch
+			pcfg.LineBytes = cfg.LLC.LineBytes
+			h.pf = prefetch.New(pcfg)
+		case "delta":
+			dcfg := cfg.DeltaPF
+			dcfg.LineBytes = cfg.LLC.LineBytes
+			h.pf = prefetch.NewDelta(dcfg)
+		default:
+			panic(fmt.Sprintf("memsys: unknown prefetch kind %q", cfg.PrefetchKind))
+		}
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// DRAM exposes the memory controller (for statistics).
+func (h *Hierarchy) DRAM() *dram.Controller { return h.mem }
+
+// Prefetcher exposes the prefetch engine, nil when disabled.
+func (h *Hierarchy) Prefetcher() prefetch.Engine { return h.pf }
+
+// L1D exposes the L1 data cache (for statistics).
+func (h *Hierarchy) L1D() *cache.Cache { return h.l1d }
+
+// L1I exposes the L1 instruction cache (for statistics).
+func (h *Hierarchy) L1I() *cache.Cache { return h.l1i }
+
+// LLC exposes the last-level cache (for statistics).
+func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// TotalDRAMRequests returns all granted DRAM requests (demand + prefetch +
+// writeback), the quantity Figure 16 normalizes.
+func (h *Hierarchy) TotalDRAMRequests() uint64 {
+	return h.DRAMReadsDemand + h.DRAMReadsPrefetch + h.DRAMWrites
+}
+
+// OutstandingDataMisses returns the number of in-flight L1D misses.
+func (h *Hierarchy) OutstandingDataMisses() int { return h.l1dMSHR.Outstanding() }
+
+func (h *Hierarchy) schedule(cycle int64, fn func()) {
+	if cycle <= h.now {
+		cycle = h.now + 1
+	}
+	h.seq++
+	heap.Push(&h.events, event{cycle: cycle, seq: h.seq, fn: fn})
+}
+
+// Tick advances the hierarchy to cycle now, firing due events, retrying
+// back-pressured requests, and granting DRAM requests.
+func (h *Hierarchy) Tick(now int64) {
+	h.now = now
+	// Retry demand misses blocked on a full LLC MSHR file.
+	if len(h.llcRetry) > 0 {
+		kept := h.llcRetry[:0]
+		for _, try := range h.llcRetry {
+			if !try() {
+				kept = append(kept, try)
+			}
+		}
+		h.llcRetry = kept
+	}
+	// Drain the overflow queue into the 64-entry memory queue.
+	for len(h.dramWait) > 0 && h.mem.Enqueue(h.dramWait[0]) {
+		h.dramWait = h.dramWait[1:]
+	}
+	h.mem.Tick(now)
+	for len(h.events) > 0 && h.events[0].cycle <= now {
+		e := heap.Pop(&h.events).(event)
+		e.fn()
+	}
+}
+
+// Load issues a data read at cycle now.
+//
+// onMiss (optional) fires as soon as the access is known to be DRAM-bound —
+// the signal that lets a blocked ROB head trigger runahead without waiting
+// for the data.
+//
+// When noWait is set (runahead semantics), done itself fires at miss
+// discovery (Level Mem, no data) instead of at data arrival, and the fill
+// continues in the background.
+//
+// Load reports false when the L1D MSHR file is full and the access must be
+// retried.
+func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64), done func(Outcome)) bool {
+	h.Loads++
+	if hit, _ := h.l1d.Lookup(addr); hit {
+		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		return true
+	}
+	line := h.l1d.LineAddr(addr)
+	if m, ok := h.l1dMSHR.Lookup(line); ok {
+		if onMiss != nil {
+			if m.FillFromMem {
+				h.schedule(now+int64(h.cfg.L1Latency), func() { onMiss(h.now) })
+			} else {
+				m.EarlyMiss = append(m.EarlyMiss, onMiss)
+			}
+		}
+		if noWait {
+			// The line is already in flight; runahead treats it as a miss in
+			// progress and moves on without waiting.
+			h.l1dMSHR.Merge(m, true, nil)
+			h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelMem}) })
+			return true
+		}
+		h.l1dMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+		return true
+	}
+	if h.l1dMSHR.FullNow() {
+		return false
+	}
+	m := h.l1dMSHR.Allocate(line, false)
+	if onMiss != nil {
+		m.EarlyMiss = append(m.EarlyMiss, onMiss)
+	}
+	if noWait {
+		notified := false
+		fire := func(cy int64, lvl Level) {
+			if !notified {
+				notified = true
+				done(Outcome{When: cy, Level: lvl})
+			}
+		}
+		// Early notification when the LLC lookup resolves as a miss; if the
+		// LLC hits instead, the normal fill path completes quickly.
+		m.EarlyMiss = append(m.EarlyMiss, func(cy int64) { fire(cy, LevelMem) })
+		h.l1dMSHR.Merge(m, true, func(cy int64) { fire(cy, fillLevel(m)) })
+	} else {
+		h.l1dMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+	}
+	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindData) })
+	return true
+}
+
+// Store issues a data write at cycle now (write-allocate, write-back). The
+// callback fires when the line is writable in the L1D. Store reports false
+// when the L1D MSHR file is full.
+func (h *Hierarchy) Store(now int64, addr uint64, done func(Outcome)) bool {
+	h.Stores++
+	if hit, _ := h.l1d.Lookup(addr); hit {
+		h.l1d.MarkDirty(addr)
+		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		return true
+	}
+	line := h.l1d.LineAddr(addr)
+	finish := func(cy int64, m *cache.MSHR) {
+		h.l1d.MarkDirty(line)
+		done(Outcome{When: cy, Level: fillLevel(m)})
+	}
+	if m, ok := h.l1dMSHR.Lookup(line); ok {
+		h.l1dMSHR.Merge(m, true, func(cy int64) { finish(cy, m) })
+		return true
+	}
+	if h.l1dMSHR.FullNow() {
+		return false
+	}
+	m := h.l1dMSHR.Allocate(line, false)
+	h.l1dMSHR.Merge(m, true, func(cy int64) { finish(cy, m) })
+	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindData) })
+	return true
+}
+
+// Fetch issues an instruction read at cycle now. It reports false when the
+// L1I MSHR file is full.
+func (h *Hierarchy) Fetch(now int64, addr uint64, done func(Outcome)) bool {
+	h.Fetches++
+	if hit, _ := h.l1i.Lookup(addr); hit {
+		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		return true
+	}
+	line := h.l1i.LineAddr(addr)
+	if m, ok := h.l1iMSHR.Lookup(line); ok {
+		h.l1iMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+		return true
+	}
+	if h.l1iMSHR.FullNow() {
+		return false
+	}
+	m := h.l1iMSHR.Allocate(line, false)
+	h.l1iMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindInstr) })
+	return true
+}
+
+func fillLevel(m *cache.MSHR) Level {
+	if m.FillFromMem {
+		return LevelMem
+	}
+	return LevelLLC
+}
+
+// llcAccess handles an L1-level miss (or a prefetch probe) arriving at the
+// LLC.
+func (h *Hierarchy) llcAccess(line uint64, kind reqKind) {
+	demand := kind != kindPrefetch
+	hit, wasPf := h.llc.Lookup(line)
+	if demand {
+		h.LLCDemandAccesses++
+		if !hit {
+			h.LLCDemandMisses++
+		}
+		if h.pf != nil {
+			for _, pa := range h.pf.Train(line, hit, wasPf) {
+				h.issuePrefetch(pa)
+			}
+		}
+	}
+	if hit {
+		h.schedule(h.now+int64(h.cfg.LLCLatency), func() { h.fillL1(line, kind, false) })
+		return
+	}
+	// LLC miss: the requester learns it is DRAM-bound now, even if the miss
+	// has to wait for an MSHR or queue slot (runahead must be able to poison
+	// and move past it immediately).
+	h.noteEarlyMiss(line, kind)
+	if m, ok := h.llcMSHR.Lookup(line); ok {
+		if demand && m.Prefetch && h.pf != nil {
+			h.pf.NoteLatePrefetch()
+		}
+		h.llcMSHR.Merge(m, demand, nil)
+		h.attachL1Fill(m, line, kind)
+		return
+	}
+	try := func() bool {
+		if h.llcMSHR.FullNow() {
+			return false
+		}
+		m := h.llcMSHR.Allocate(line, false)
+		m.FillFromMem = true
+		h.attachL1Fill(m, line, kind)
+		h.DRAMReadsDemand++
+		h.enqueueDRAM(&dram.Request{LineAddr: line, Arrival: h.now, Done: func(cy int64) {
+			h.schedule(cy, func() { h.fillLLC(line, false) })
+		}})
+		return true
+	}
+	if !try() {
+		h.llcRetry = append(h.llcRetry, try)
+	}
+}
+
+// noteEarlyMiss delivers runahead early-miss notifications for data misses
+// that are now known to be DRAM-bound.
+func (h *Hierarchy) noteEarlyMiss(line uint64, kind reqKind) {
+	if kind != kindData {
+		return
+	}
+	if m, ok := h.l1dMSHR.Lookup(line); ok {
+		m.FillFromMem = true
+		for _, f := range m.EarlyMiss {
+			f(h.now)
+		}
+		m.EarlyMiss = nil
+	}
+}
+
+// attachL1Fill arranges for the L1 fill when the LLC-level MSHR completes.
+func (h *Hierarchy) attachL1Fill(m *cache.MSHR, line uint64, kind reqKind) {
+	h.llcMSHR.Merge(m, kind != kindPrefetch, func(cy int64) {
+		h.fillL1(line, kind, true)
+	})
+}
+
+// fillL1 delivers a line into the appropriate L1 and completes its MSHR.
+// fromMem marks fills whose data came from DRAM.
+func (h *Hierarchy) fillL1(line uint64, kind reqKind, fromMem bool) {
+	switch kind {
+	case kindData:
+		if _, ok := h.l1dMSHR.Lookup(line); !ok {
+			return // e.g. duplicate fill after an inclusion invalidation
+		}
+		v := h.l1d.Insert(line, false)
+		if v.Valid && v.Dirty {
+			// Write back into the (inclusive) LLC; if it lost the line,
+			// forward to memory.
+			if !h.llc.MarkDirty(v.Addr) {
+				h.writeDRAM(v.Addr)
+			}
+		}
+		m := h.l1dMSHR.Complete(line)
+		if fromMem {
+			m.FillFromMem = true
+		}
+		for _, w := range m.Waiters {
+			w(h.now)
+		}
+	case kindInstr:
+		if _, ok := h.l1iMSHR.Lookup(line); !ok {
+			return
+		}
+		h.l1i.Insert(line, false)
+		m := h.l1iMSHR.Complete(line)
+		if fromMem {
+			m.FillFromMem = true
+		}
+		for _, w := range m.Waiters {
+			w(h.now)
+		}
+	}
+}
+
+// fillLLC inserts a line arriving from DRAM and completes the LLC MSHR.
+func (h *Hierarchy) fillLLC(line uint64, prefetched bool) {
+	if _, ok := h.llcMSHR.Lookup(line); !ok {
+		return
+	}
+	m := h.llcMSHR.Complete(line)
+	// A prefetch that a demand merged into fills as a demand line.
+	pfBit := prefetched && m.Prefetch
+	v := h.llc.Insert(line, pfBit)
+	if v.Valid {
+		// Inclusion: drop L1 copies, folding their dirtiness into the victim.
+		dirty := v.Dirty
+		if _, d := h.l1d.Invalidate(v.Addr); d {
+			dirty = true
+		}
+		h.l1i.Invalidate(v.Addr)
+		if dirty {
+			h.writeDRAM(v.Addr)
+		}
+		if pfBit && h.pf != nil {
+			h.pf.NotePrefetchEviction(v.Addr)
+		}
+	}
+	for _, w := range m.Waiters {
+		w(h.now)
+	}
+}
+
+// issuePrefetch injects a prefetch for line addr into the LLC miss path.
+// Prefetches are droppable: full structures silently discard them.
+func (h *Hierarchy) issuePrefetch(addr uint64) {
+	line := h.llc.LineAddr(addr)
+	if h.llc.Probe(line) {
+		return
+	}
+	if _, ok := h.llcMSHR.Lookup(line); ok {
+		return
+	}
+	if h.llcMSHR.FullNow() {
+		return
+	}
+	h.llcMSHR.Allocate(line, true)
+	h.DRAMReadsPrefetch++
+	h.enqueueDRAM(&dram.Request{LineAddr: line, Arrival: h.now, Done: func(cy int64) {
+		h.schedule(cy, func() { h.fillLLC(line, true) })
+	}})
+}
+
+func (h *Hierarchy) writeDRAM(line uint64) {
+	h.DRAMWrites++
+	h.enqueueDRAM(&dram.Request{LineAddr: line, Write: true, Arrival: h.now})
+}
+
+func (h *Hierarchy) enqueueDRAM(r *dram.Request) {
+	if len(h.dramWait) > 0 || !h.mem.Enqueue(r) {
+		h.dramWait = append(h.dramWait, r)
+	}
+}
+
+// Drained reports whether no activity is pending anywhere in the hierarchy
+// (for tests).
+func (h *Hierarchy) Drained() bool {
+	return len(h.events) == 0 && len(h.dramWait) == 0 && len(h.llcRetry) == 0 &&
+		h.mem.Pending() == 0 && h.l1dMSHR.Outstanding() == 0 &&
+		h.l1iMSHR.Outstanding() == 0 && h.llcMSHR.Outstanding() == 0
+}
+
+// ResetStats zeroes all statistics counters while preserving cache, MSHR,
+// DRAM and prefetcher state — used by harnesses to exclude warmup from
+// measurements.
+func (h *Hierarchy) ResetStats() {
+	h.Loads, h.Stores, h.Fetches = 0, 0, 0
+	h.LLCDemandAccesses, h.LLCDemandMisses = 0, 0
+	h.DRAMReadsDemand, h.DRAMReadsPrefetch, h.DRAMWrites = 0, 0, 0
+	for _, c := range []*cache.Cache{h.l1i, h.l1d, h.llc} {
+		c.Hits, c.Misses, c.Evictions = 0, 0, 0
+	}
+	for _, f := range []*cache.MSHRFile{h.l1iMSHR, h.l1dMSHR, h.llcMSHR} {
+		f.Allocs, f.Merges, f.Full = 0, 0, 0
+	}
+	h.mem.ResetStats()
+	if h.pf != nil {
+		h.pf.ResetStats()
+	}
+}

@@ -1,0 +1,134 @@
+package prefetch
+
+// Delta is a region-based delta (stride) prefetcher, the classic alternative
+// the paper's related-work section groups under stride prefetching [11, 14,
+// 27]: for each memory region it tracks the last demand line and the last
+// inter-miss delta; when the same delta repeats, it prefetches degree lines
+// further along that delta. Unlike the sequential stream prefetcher, it
+// locks onto large constant strides (the stencil workloads the stream engine
+// cannot see) while still issuing nothing on random access.
+type Delta struct {
+	regions    []deltaRegion
+	regionBits uint
+	lineBytes  uint64
+	degree     int
+	stamp      uint64
+
+	issued    uint64
+	useful    uint64
+	late      uint64
+	pollution uint64
+}
+
+type deltaRegion struct {
+	valid    bool
+	tag      uint64
+	lastLine int64
+	delta    int64
+	conf     uint8
+	lastUse  uint64
+}
+
+// DeltaConfig sizes the delta prefetcher.
+type DeltaConfig struct {
+	Regions    int  // tracking entries (LRU)
+	RegionBits uint // log2 of the region size in bytes
+	LineBytes  int
+	Degree     int // prefetches per confident trigger
+}
+
+// DefaultDeltaConfig tracks 64 4MB regions at degree 2.
+func DefaultDeltaConfig() DeltaConfig {
+	return DeltaConfig{Regions: 64, RegionBits: 22, LineBytes: 64, Degree: 2}
+}
+
+// NewDelta returns an idle delta prefetcher.
+func NewDelta(cfg DeltaConfig) *Delta {
+	if cfg.Regions <= 0 || cfg.LineBytes <= 0 || cfg.Degree <= 0 {
+		panic("prefetch: invalid delta configuration")
+	}
+	return &Delta{
+		regions:    make([]deltaRegion, cfg.Regions),
+		regionBits: cfg.RegionBits,
+		lineBytes:  uint64(cfg.LineBytes),
+		degree:     cfg.Degree,
+	}
+}
+
+// Train implements Engine.
+func (d *Delta) Train(addr uint64, hit, wasPrefetchHit bool) []uint64 {
+	if wasPrefetchHit {
+		d.useful++
+	}
+	if hit {
+		return nil // train on misses only; hits carry no new delta information
+	}
+	line := int64(addr / d.lineBytes)
+	tag := addr >> d.regionBits
+	r := d.lookup(tag)
+	d.stamp++
+	r.lastUse = d.stamp
+	if !r.valid || r.tag != tag {
+		*r = deltaRegion{valid: true, tag: tag, lastLine: line, lastUse: d.stamp}
+		return nil
+	}
+	delta := line - r.lastLine
+	r.lastLine = line
+	if delta == 0 {
+		return nil
+	}
+	if delta == r.delta {
+		if r.conf < 3 {
+			r.conf++
+		}
+	} else {
+		r.delta = delta
+		r.conf = 0
+		return nil
+	}
+	if r.conf < 1 {
+		return nil
+	}
+	out := make([]uint64, 0, d.degree)
+	next := line
+	for i := 0; i < d.degree; i++ {
+		next += delta
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next)*d.lineBytes)
+	}
+	d.issued += uint64(len(out))
+	return out
+}
+
+func (d *Delta) lookup(tag uint64) *deltaRegion {
+	vi := 0
+	for i := range d.regions {
+		r := &d.regions[i]
+		if r.valid && r.tag == tag {
+			return r
+		}
+		if !r.valid {
+			vi = i
+		} else if d.regions[vi].valid && r.lastUse < d.regions[vi].lastUse {
+			vi = i
+		}
+	}
+	return &d.regions[vi]
+}
+
+// NotePrefetchEviction implements Engine (the delta engine does not track
+// pollution; it simply counts).
+func (d *Delta) NotePrefetchEviction(uint64) { d.pollution++ }
+
+// NoteLatePrefetch implements Engine.
+func (d *Delta) NoteLatePrefetch() { d.late++; d.useful++ }
+
+// ResetStats implements Engine.
+func (d *Delta) ResetStats() { d.issued, d.useful, d.late, d.pollution = 0, 0, 0, 0 }
+
+// Counters implements Engine.
+func (d *Delta) Counters() Counters {
+	return Counters{Issued: d.issued, Useful: d.useful, Late: d.late, Pollution: d.pollution}
+}

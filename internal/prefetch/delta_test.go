@@ -1,0 +1,113 @@
+package prefetch
+
+import "testing"
+
+func newDelta() *Delta { return NewDelta(DefaultDeltaConfig()) }
+
+func TestDeltaLocksOntoConstantStride(t *testing.T) {
+	d := newDelta()
+	const stride = 47 * 64 // the zeusmp stride the stream prefetcher cannot see
+	var issued int
+	for i := uint64(0); i < 8; i++ {
+		issued += len(d.Train(i*stride, false, false))
+	}
+	if issued == 0 {
+		t.Fatal("delta prefetcher never locked onto a constant stride")
+	}
+	// Once confident, predictions run `stride` ahead.
+	out := d.Train(8*stride, false, false)
+	if len(out) == 0 || out[0] != 9*stride {
+		t.Fatalf("prediction = %v, want next stride point %#x", out, 9*stride)
+	}
+}
+
+func TestDeltaIgnoresRandomMisses(t *testing.T) {
+	d := newDelta()
+	addrs := []uint64{0, 13 << 12, 7 << 13, 999 << 10, 5 << 14, 1 << 18}
+	total := 0
+	for _, a := range addrs {
+		total += len(d.Train(a, false, false))
+	}
+	if total != 0 {
+		t.Fatalf("random misses produced %d prefetches", total)
+	}
+}
+
+func TestDeltaPerRegionTracking(t *testing.T) {
+	d := newDelta()
+	// Two interleaved strided streams in different 4MB regions must both
+	// train despite alternating.
+	const strideA, strideB = 3 * 64, 5 * 64
+	baseB := uint64(1) << 30
+	var issuedA, issuedB int
+	for i := uint64(0); i < 10; i++ {
+		issuedA += len(d.Train(i*strideA, false, false))
+		issuedB += len(d.Train(baseB+i*strideB, false, false))
+	}
+	if issuedA == 0 || issuedB == 0 {
+		t.Fatalf("interleaved regions not tracked independently: %d/%d", issuedA, issuedB)
+	}
+}
+
+func TestDeltaNegativeStride(t *testing.T) {
+	d := newDelta()
+	base := uint64(1 << 20)
+	issued := 0
+	for i := int64(0); i < 8; i++ {
+		issued += len(d.Train(base-uint64(i)*128, false, false))
+	}
+	if issued == 0 {
+		t.Fatal("descending stride not detected")
+	}
+}
+
+func TestDeltaStrideChangeResetsConfidence(t *testing.T) {
+	d := newDelta()
+	for i := uint64(0); i < 6; i++ {
+		d.Train(i*128, false, false)
+	}
+	before := d.Counters().Issued
+	// Change the stride: the first new-delta miss must not prefetch.
+	if out := d.Train(6*128+4096, false, false); len(out) != 0 {
+		t.Fatal("stride change must reset confidence")
+	}
+	if d.Counters().Issued != before {
+		t.Fatal("issued counter moved on a reset")
+	}
+}
+
+func TestDeltaHitsDoNotTrain(t *testing.T) {
+	d := newDelta()
+	for i := uint64(0); i < 8; i++ {
+		if out := d.Train(i*128, true, false); len(out) != 0 {
+			t.Fatal("hits must not train or prefetch")
+		}
+	}
+}
+
+func TestDeltaCountersAndReset(t *testing.T) {
+	d := newDelta()
+	for i := uint64(0); i < 8; i++ {
+		d.Train(i*128, false, false)
+	}
+	d.Train(0, true, true) // useful
+	d.NoteLatePrefetch()
+	d.NotePrefetchEviction(0)
+	c := d.Counters()
+	if c.Issued == 0 || c.Useful != 2 || c.Late != 1 || c.Pollution != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	d.ResetStats()
+	if d.Counters() != (Counters{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+	// Training state survives the reset.
+	if out := d.Train(8*128, false, false); len(out) == 0 {
+		t.Fatal("training state lost across ResetStats")
+	}
+}
+
+func TestEngineInterfaceSatisfied(t *testing.T) {
+	var _ Engine = New(DefaultConfig())
+	var _ Engine = NewDelta(DefaultDeltaConfig())
+}

@@ -1,0 +1,34 @@
+package prefetch
+
+// Engine is the interface the memory system drives: any prefetcher that
+// trains on LLC demand accesses and emits prefetch addresses. Two
+// implementations exist — the paper's stream prefetcher (Prefetcher) and a
+// region-delta prefetcher (Delta) standing in for the stride prefetchers of
+// the paper's related-work section.
+type Engine interface {
+	// Train observes one LLC demand access and returns line addresses to
+	// prefetch.
+	Train(addr uint64, hit, wasPrefetchHit bool) []uint64
+	// NotePrefetchEviction records that a prefetch fill evicted victimAddr.
+	NotePrefetchEviction(victimAddr uint64)
+	// NoteLatePrefetch records a demand access that merged into an in-flight
+	// prefetch.
+	NoteLatePrefetch()
+	// ResetStats zeroes counters, preserving training state.
+	ResetStats()
+	// Counters returns the cumulative statistics.
+	Counters() Counters
+}
+
+// Counters summarizes prefetcher activity.
+type Counters struct {
+	Issued    uint64
+	Useful    uint64
+	Late      uint64
+	Pollution uint64
+}
+
+// Counters implements Engine.
+func (p *Prefetcher) Counters() Counters {
+	return Counters{Issued: p.Issued, Useful: p.Useful, Late: p.Late, Pollution: p.Pollution}
+}

@@ -1,0 +1,152 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"runaheadsim/internal/isa"
+)
+
+func TestBuilderEmitsEveryHelper(t *testing.T) {
+	b := NewBuilder("helpers")
+	slot := b.Alloc(64, 8)
+	e := b.Block("e")
+	target := b.Block("target")
+	e.Movi(1, int64(slot)).
+		Mov(2, 1).
+		Addi(3, 2, 8).
+		Add(4, 2, 3).
+		Op(isa.XOR, 5, 4, 3).
+		OpI(isa.MULI, 6, 5, 3).
+		Ld(7, 1, 0).
+		LdScaled(8, 1, 3, 8, 0).
+		St(1, 8, 7).
+		Nop(2).
+		Beqz(7, target).
+		Bnez(7, target).
+		Blt(5, 6, target).
+		Bge(5, 6, target).
+		Jmp(target)
+	target.Call(e, 9)
+	// An extra block so CALL's fall-through (unused) stays in range.
+	fin := b.Block("fin")
+	fin.Ret(9)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 movi-ish + alu + mem + nops + 5 branches + call + ret
+	if p.NumUops() != 18 {
+		t.Fatalf("uop count = %d", p.NumUops())
+	}
+	if target.ID() != 1 {
+		t.Fatalf("block id = %d", target.ID())
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on invalid programs")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Block("nonterminal").Movi(1, 1)
+	b.MustBuild()
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	p := &Program{
+		Name:       "manual",
+		Uops:       []isa.Uop{{Op: isa.JMP, Target: 7}},
+		BlockOf:    []isa.BlockID{0},
+		BlockStart: []int{0},
+		Init:       NewMemory(),
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "invalid block") {
+		t.Fatalf("expected invalid-target error, got %v", err)
+	}
+}
+
+func TestValidateEmptyProgram(t *testing.T) {
+	p := &Program{Name: "empty", Init: NewMemory()}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty program must fail validation")
+	}
+}
+
+func TestTakenTarget(t *testing.T) {
+	b := NewBuilder("tt")
+	e := b.Block("e")
+	tgt := b.Block("t")
+	e.Jmp(tgt)
+	tgt.Movi(1, 1).Jmp(tgt)
+	p := b.MustBuild()
+	jmp := &p.Uops[0]
+	if got := p.TakenTarget(jmp); got != p.BlockAddr(tgt.ID()) {
+		t.Fatalf("TakenTarget = %#x", got)
+	}
+	ret := isa.Uop{Op: isa.RET}
+	if p.TakenTarget(&ret) != 0 {
+		t.Fatal("RET target must be dynamic (0)")
+	}
+}
+
+func TestUopAt(t *testing.T) {
+	b := NewBuilder("ua")
+	e := b.Block("e")
+	e.Movi(1, 42).Jmp(e)
+	p := b.MustBuild()
+	if u := p.UopAt(p.AddrOf(0)); u == nil || u.Op != isa.MOVI {
+		t.Fatal("UopAt(0) wrong")
+	}
+	if p.UopAt(0x1234) != nil {
+		t.Fatal("UopAt outside text must be nil")
+	}
+}
+
+func TestInterpPCAccessors(t *testing.T) {
+	b := NewBuilder("pc")
+	e := b.Block("e")
+	e.Movi(1, 1).Jmp(e)
+	p := b.MustBuild()
+	in := NewInterp(p)
+	if in.PC() != p.AddrOf(0) || in.Count() != 0 {
+		t.Fatal("fresh interpreter state wrong")
+	}
+	in.Step()
+	if in.PC() != p.AddrOf(1) || in.Count() != 1 {
+		t.Fatal("interpreter accessors wrong after a step")
+	}
+}
+
+func TestInterpPanicsOutOfRange(t *testing.T) {
+	b := NewBuilder("oor")
+	e := b.Block("e")
+	e.Jmp(e)
+	p := b.MustBuild()
+	in := NewInterp(p)
+	in.pc = 99
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range PC must panic")
+		}
+	}()
+	in.Step()
+}
+
+func TestInterpRETInvalidTargetPanics(t *testing.T) {
+	b := NewBuilder("badret")
+	e := b.Block("e")
+	e.Movi(1, 3). // not a valid uop address
+			Ret(1)
+	p := b.MustBuild()
+	in := NewInterp(p)
+	in.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RET to garbage must panic in the reference interpreter")
+		}
+	}()
+	in.Step()
+}

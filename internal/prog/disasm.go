@@ -1,0 +1,22 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the program as a block-annotated listing, one uop per line
+// with its address — the debugging view behind `runahead-sim -disasm`.
+func Disasm(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %q: %d uops, %d blocks\n", p.Name, len(p.Uops), len(p.BlockStart))
+	nextBlock := 0
+	for i := range p.Uops {
+		for nextBlock < len(p.BlockStart) && p.BlockStart[nextBlock] == i {
+			fmt.Fprintf(&sb, "B%d:\n", nextBlock)
+			nextBlock++
+		}
+		fmt.Fprintf(&sb, "  %#x: %v\n", p.AddrOf(i), &p.Uops[i])
+	}
+	return sb.String()
+}

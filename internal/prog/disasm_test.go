@@ -1,0 +1,23 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasm(t *testing.T) {
+	b := NewBuilder("d")
+	e := b.Block("e")
+	l := b.Block("l")
+	e.Movi(1, 5).Jmp(l)
+	l.Addi(1, 1, 1).Jmp(l)
+	out := Disasm(b.MustBuild())
+	for _, want := range []string{"program \"d\"", "B0:", "B1:", "movi", "addi", "jmp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "0x") != 4 {
+		t.Fatalf("expected 4 addressed uops:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Package prog models programs for the simulator: a basic-block control-flow
+// graph of micro-ops with a fixed text-segment layout, a sparse 64-bit memory
+// image, a builder DSL for constructing workloads, and a functional
+// interpreter that defines the architectural semantics.
+//
+// The interpreter is the source of truth for uop semantics: the out-of-order
+// core's execute stage calls the same Eval/EffAddr helpers, and the
+// architectural-equivalence tests check that the pipeline commits exactly the
+// state the interpreter produces.
+package prog
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, byte-addressable 64-bit memory image backed by 4KB
+// pages. Reads of unmapped memory return zero; writes allocate pages on
+// demand. It is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr (zero if unmapped).
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read64 returns the little-endian 64-bit value at addr. The access may span
+// a page boundary.
+func (m *Memory) Read64(addr uint64) int64 {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		off := addr & pageMask
+		var v uint64
+		for i := uint64(0); i < 8; i++ {
+			v |= uint64(p[off+i]) << (8 * i)
+		}
+		return int64(v)
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.ByteAt(addr+i)) << (8 * i)
+	}
+	return int64(v)
+}
+
+// Write64 stores val at addr in little-endian order. The access may span a
+// page boundary.
+func (m *Memory) Write64(addr uint64, val int64) {
+	v := uint64(val)
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		for i := uint64(0); i < 8; i++ {
+			p[off+i] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.SetByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Clone returns a deep copy of the memory image.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Pages returns the number of mapped pages.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Equal reports whether the two images hold identical contents. Unmapped and
+// all-zero pages are considered equal.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for pn, p := range m.pages {
+		q := o.pages[pn]
+		if q == nil {
+			if *p != ([pageSize]byte{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the lowest address at which the two images differ, for
+// test diagnostics. ok is false when the images are equal.
+func (m *Memory) FirstDiff(o *Memory) (addr uint64, ok bool) {
+	best := uint64(0)
+	found := false
+	consider := func(a *Memory, b *Memory) {
+		for pn, p := range a.pages {
+			q := b.pages[pn]
+			for i := 0; i < pageSize; i++ {
+				var qb byte
+				if q != nil {
+					qb = q[i]
+				}
+				if p[i] != qb {
+					d := pn<<pageShift | uint64(i)
+					if !found || d < best {
+						best, found = d, true
+					}
+					break
+				}
+			}
+		}
+	}
+	consider(m, o)
+	consider(o, m)
+	return best, found
+}

@@ -1,0 +1,131 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroByDefault(t *testing.T) {
+	m := NewMemory()
+	if v := m.Read64(0x1234); v != 0 {
+		t.Fatalf("unmapped read = %d, want 0", v)
+	}
+	if b := m.ByteAt(0xdeadbeef); b != 0 {
+		t.Fatalf("unmapped byte = %d, want 0", b)
+	}
+	if m.Pages() != 0 {
+		t.Fatal("reads must not allocate pages")
+	}
+}
+
+func TestMemoryRead64RoundTrip(t *testing.T) {
+	f := func(addr uint64, val int64) bool {
+		addr &= 0x7fff_ffff // keep the page map small
+		m := NewMemory()
+		m.Write64(addr, val)
+		return m.Read64(addr) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 3) // spans two pages
+	m.Write64(addr, -0x0123456789abcdef)
+	if got := m.Read64(addr); got != -0x0123456789abcdef {
+		t.Fatalf("straddling read = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("expected 2 pages, got %d", m.Pages())
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x100, 0x0807060504030201)
+	for i := uint64(0); i < 8; i++ {
+		if got := m.ByteAt(0x100 + i); got != byte(i+1) {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+}
+
+func TestMemoryOverlappingWrites(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x200, -1)
+	m.Write64(0x204, 0) // overwrite the upper half and beyond
+	if got := uint64(m.Read64(0x200)); got != 0x0000_0000_ffff_ffff {
+		t.Fatalf("after overlap = %#x", got)
+	}
+}
+
+func TestMemoryCloneIsolation(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x300, 7)
+	c := m.Clone()
+	c.Write64(0x300, 9)
+	m.Write64(0x308, 1)
+	if m.Read64(0x300) != 7 {
+		t.Fatal("clone write leaked into original")
+	}
+	if c.Read64(0x308) != 0 {
+		t.Fatal("original write leaked into clone")
+	}
+}
+
+func TestMemoryEqual(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if !a.Equal(b) {
+		t.Fatal("empty memories must be equal")
+	}
+	a.Write64(0x400, 5)
+	if a.Equal(b) {
+		t.Fatal("differing memories reported equal")
+	}
+	b.Write64(0x400, 5)
+	if !a.Equal(b) {
+		t.Fatal("identical memories reported unequal")
+	}
+	// A mapped all-zero page equals an unmapped page.
+	a.Write64(0x5000, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("all-zero page must equal unmapped page")
+	}
+}
+
+func TestMemoryFirstDiff(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if _, ok := a.FirstDiff(b); ok {
+		t.Fatal("equal memories must report no diff")
+	}
+	a.Write64(0x1000, 1)
+	a.Write64(0x9000, 2)
+	b.Write64(0x9000, 3)
+	addr, ok := a.FirstDiff(b)
+	if !ok || addr != 0x1000 {
+		t.Fatalf("FirstDiff = %#x,%v want 0x1000,true", addr, ok)
+	}
+}
+
+// Property: writing n values at distinct 8-byte-aligned addresses then
+// reading them back yields the same values regardless of write order.
+func TestMemoryPropertyDistinctSlots(t *testing.T) {
+	f := func(seed uint32, vals []int64) bool {
+		m := NewMemory()
+		base := uint64(seed%1024) * 8
+		for i, v := range vals {
+			m.Write64(base+uint64(i)*8, v)
+		}
+		for i, v := range vals {
+			if m.Read64(base+uint64(i)*8) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

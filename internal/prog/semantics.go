@@ -1,0 +1,83 @@
+package prog
+
+import "runaheadsim/internal/isa"
+
+// Eval computes the result value of a non-memory, non-branch uop from its
+// source values. It is the single definition of ALU semantics, shared by the
+// interpreter and the out-of-order core's execute stage.
+func Eval(u *isa.Uop, s1, s2 int64) int64 {
+	switch u.Op {
+	case isa.ADD, isa.FADD:
+		return s1 + s2
+	case isa.SUB:
+		return s1 - s2
+	case isa.AND:
+		return s1 & s2
+	case isa.OR:
+		return s1 | s2
+	case isa.XOR:
+		return s1 ^ s2
+	case isa.SHL:
+		return s1 << (uint64(s2) & 63)
+	case isa.SHR:
+		return int64(uint64(s1) >> (uint64(s2) & 63))
+	case isa.MUL, isa.FMUL:
+		return s1 * s2
+	case isa.DIV, isa.FDIV:
+		if s2 == 0 {
+			return 0
+		}
+		return s1 / s2
+	case isa.ADDI:
+		return s1 + u.Imm
+	case isa.ANDI:
+		return s1 & u.Imm
+	case isa.MULI:
+		return s1 * u.Imm
+	case isa.MOV:
+		return s1
+	case isa.MOVI:
+		return u.Imm
+	case isa.CMPLT:
+		if s1 < s2 {
+			return 1
+		}
+		return 0
+	case isa.CMPEQ:
+		if s1 == s2 {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// EffAddr computes the effective address of a memory uop from its source
+// values.
+func EffAddr(u *isa.Uop, s1, s2 int64) uint64 {
+	ea := uint64(s1) + uint64(u.Imm)
+	if u.Scaled && u.Op.IsLoad() {
+		ea += uint64(s2) * uint64(u.Scale)
+	}
+	return ea
+}
+
+// BranchTaken computes the outcome of a branch uop from its source values.
+// JMP, CALL and RET are always taken.
+func BranchTaken(u *isa.Uop, s1, s2 int64) bool {
+	switch u.Op {
+	case isa.JMP, isa.CALL, isa.RET:
+		return true
+	case isa.BEQZ:
+		return s1 == 0
+	case isa.BNEZ:
+		return s1 != 0
+	case isa.BLT:
+		return s1 < s2
+	case isa.BGE:
+		return s1 >= s2
+	default:
+		return false
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetCounters(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 3)
+	s.Add("a", 2)
+	s.Add("b", 1)
+	if s.Get("a") != 5 || s.Get("b") != 1 || s.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+	c := s.Counter("a")
+	*c += 10
+	if s.Get("a") != 15 {
+		t.Fatal("Counter pointer must alias the stored value")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !strings.Contains(s.String(), "a") {
+		t.Fatal("String must render counter names")
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio(3,4) != 0.75")
+	}
+	if Pct(1, 4) != 25 {
+		t.Fatal("Pct(1,4) != 25")
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if got := PctDelta(1.172, 1.0); math.Abs(got-17.2) > 1e-9 {
+		t.Fatalf("PctDelta = %v", got)
+	}
+	if PctDelta(5, 0) != 0 {
+		t.Fatal("PctDelta with zero base must be 0")
+	}
+	if got := PctDelta(0.9, 1.0); math.Abs(got+10) > 1e-9 {
+		t.Fatalf("negative delta = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	// Zero entries are clamped rather than annihilating the mean.
+	if GeoMean([]float64{0, 4}) <= 0 {
+		t.Fatal("geomean with a zero entry must stay positive")
+	}
+}
+
+func TestGeoMeanProperty(t *testing.T) {
+	// Geomean of identical positive values is that value.
+	f := func(v uint16, n uint8) bool {
+		x := 1 + float64(v)/100
+		k := int(n%8) + 1
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = x
+		}
+		return math.Abs(GeoMean(xs)-x) < 1e-9*x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean(1,2,3) != 2")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, v := range []uint64{0, 5, 15, 100} {
+		h.Observe(v)
+	}
+	if h.Count != 4 || h.Sum != 120 || h.MaxSeen != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count, h.Sum, h.MaxSeen)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[3] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 1)
+	for v := uint64(0); v < 10; v++ {
+		h.Observe(v)
+	}
+	if p := h.Percentile(0.5); p != 5 {
+		t.Fatalf("p50 = %d, want 5", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Fatalf("p100 = %d, want 10", p)
+	}
+	empty := NewHistogram(4, 1)
+	if empty.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0, 0) must panic")
+		}
+	}()
+	NewHistogram(0, 0)
+}
