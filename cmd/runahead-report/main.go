@@ -17,8 +17,10 @@ import (
 
 func main() {
 	var (
-		uops  = flag.Uint64("uops", 150_000, "measured micro-ops per run")
-		quiet = flag.Bool("q", false, "suppress progress output")
+		uops     = flag.Uint64("uops", 150_000, "measured micro-ops per run")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		asJSON   = flag.Bool("json", false, "emit the verdict table as machine-readable JSON")
+		cpiStack = flag.Bool("cpi", false, "also emit the CPI-stack breakdown table")
 	)
 	flag.Parse()
 
@@ -29,6 +31,18 @@ func main() {
 		}
 	}
 	r := harness.NewRunner(opts)
-	t := harness.Report(r)
-	t.Render(os.Stdout)
+	tables := []harness.Table{harness.Report(r)}
+	if *cpiStack {
+		tables = append(tables, harness.CPIStack(r))
+	}
+	for _, t := range tables {
+		if *asJSON {
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		t.Render(os.Stdout)
+	}
 }

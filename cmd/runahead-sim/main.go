@@ -11,11 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"runaheadsim"
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/prog"
+	"runaheadsim/internal/stats"
+	"runaheadsim/internal/trace"
 	"runaheadsim/internal/workload"
 )
 
@@ -31,6 +34,11 @@ func main() {
 		dump   = flag.Bool("stats", false, "dump raw counters")
 		chains = flag.Bool("dumpchains", false, "print the dependence chains left in the chain cache")
 		trace  = flag.Int64("trace", 0, "emit a cycle-by-cycle pipeline trace for the first N cycles")
+		trFmt  = flag.String("trace-format", "", "trace format: text | jsonl | chrome (implies -trace 10000 when -trace is unset)")
+		trOut  = flag.String("trace-out", "", "write the trace to this file (default stdout)")
+		tlEach = flag.Int64("timeline", 0, "sample IPC/occupancy/mode every N cycles and export the timeline")
+		tlOut  = flag.String("timeline-out", "", "write the timeline to this file (default stdout)")
+		tlFmt  = flag.String("timeline-format", "csv", "timeline format: csv | json")
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		all    = flag.Bool("all-modes", false, "run every runahead mode on the benchmark and print a comparison")
 		pipe   = flag.Bool("pipeline", false, "print the Figure 6 pipeline diagram and exit")
@@ -66,18 +74,23 @@ func main() {
 		return
 	}
 
-	if *trace > 0 {
-		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, *trace)
+	if *trace > 0 || *trFmt != "" || *trOut != "" {
+		cycles := *trace
+		if cycles <= 0 {
+			cycles = 10_000
+		}
+		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, cycles, *trFmt, *trOut)
 		return
 	}
 
 	res, err := runaheadsim.Run(runaheadsim.Config{
-		Benchmark:    *bench,
-		Mode:         runaheadsim.Mode(*mode),
-		Prefetcher:   *pf,
-		Enhancements: *enh,
-		MeasureUops:  *uops,
-		WarmupUops:   *warmup,
+		Benchmark:        *bench,
+		Mode:             runaheadsim.Mode(*mode),
+		Prefetcher:       *pf,
+		Enhancements:     *enh,
+		MeasureUops:      *uops,
+		WarmupUops:       *warmup,
+		TimelineInterval: *tlEach,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,12 +131,42 @@ func main() {
 		}
 	}
 	if *dump {
-		fmt.Printf("\nraw stats: %+v\n", *res.Stats)
+		fmt.Printf("\n%s", res.Stats.Counters())
+	}
+	if res.Timeline != nil {
+		if err := writeTimeline(res.Timeline, *tlFmt, *tlOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTimeline exports the interval samples as CSV or JSON, to a file or
+// stdout.
+func writeTimeline(tl *stats.Timeline, format, out string) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	} else {
+		fmt.Println()
+	}
+	switch format {
+	case "", "csv":
+		return tl.WriteCSV(w)
+	case "json":
+		return tl.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown timeline format %q (have csv, json)", format)
 	}
 }
 
 // tracePipeline drops below the facade to attach a cycle-by-cycle tracer.
-func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64) {
+func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string) {
 	cfg := core.DefaultConfig()
 	switch mode {
 	case "baseline":
@@ -147,10 +190,29 @@ func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	sink, err := trace.NewSink(format, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	c := core.New(cfg, p)
-	c.SetTracer(os.Stdout, cycles)
+	c.SetEventSink(sink, cycles)
 	for c.Now() < cycles {
 		c.Cycle()
+	}
+	if err := c.CloseEventSink(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

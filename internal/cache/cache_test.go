@@ -194,6 +194,29 @@ func TestMSHRBasics(t *testing.T) {
 	}
 }
 
+func TestMSHRPeakOccupancy(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Allocate(0x1000, false)
+	f.Allocate(0x2000, false)
+	f.Complete(0x1000)
+	f.Allocate(0x3000, false)
+	if f.Peak != 2 {
+		t.Fatalf("Peak = %d, want 2 (never more than 2 in flight)", f.Peak)
+	}
+	f.Allocate(0x4000, false)
+	f.Allocate(0x5000, false)
+	if f.Peak != 4 {
+		t.Fatalf("Peak = %d, want 4", f.Peak)
+	}
+	// Draining does not lower the recorded peak.
+	for _, a := range []uint64{0x2000, 0x3000, 0x4000, 0x5000} {
+		f.Complete(a)
+	}
+	if f.Peak != 4 || f.Outstanding() != 0 {
+		t.Fatalf("Peak/Outstanding = %d/%d after drain, want 4/0", f.Peak, f.Outstanding())
+	}
+}
+
 func TestMSHRMergeSemantics(t *testing.T) {
 	f := NewMSHRFile(4)
 	m := f.Allocate(0x1000, true)

@@ -12,6 +12,9 @@ type MSHRFile struct {
 	Allocs uint64
 	Merges uint64
 	Full   uint64
+	// Peak is the maximum simultaneous occupancy seen — the MLP ceiling a
+	// run actually reached, plotted against capacity by the timeline tools.
+	Peak int
 }
 
 // MSHR is one outstanding line fill.
@@ -64,6 +67,9 @@ func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
 	m := &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
 	f.entries[lineAddr] = m
 	f.Allocs++
+	if n := len(f.entries); n > f.Peak {
+		f.Peak = n
+	}
 	return m
 }
 

@@ -483,6 +483,10 @@ func (c *Core) resolveBranch(d *DynInst) {
 	}
 	c.squashAfter(d)
 	c.redirectFetch(actualNext, int64(c.cfg.RedirectPenalty))
+	// Empty-window cycles inside this shadow are the misprediction's cost
+	// (CPI-stack branch-recovery bucket): the redirect bubble plus the
+	// fetch-to-rename refill.
+	c.branchRecoverUntil = c.now + int64(c.cfg.RedirectPenalty+c.cfg.DecodeDepth)
 }
 
 // robIndexOf returns d's distance from the ROB head.
@@ -510,6 +514,7 @@ func (c *Core) squashAfter(d *DynInst) {
 func (c *Core) squash(t *DynInst) {
 	t.Squashed = true
 	c.st.SquashedUops++
+	c.traceSquash(t)
 	if t.U.Op.IsLoad() && t.memIssued {
 		// The request outlives the squash; it may prefetch a line the
 		// correct path wants.

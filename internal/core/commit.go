@@ -57,7 +57,7 @@ func (c *Core) commitStage() {
 			c.ren.release(d.POld)
 		}
 		c.st.Committed++
-		c.st.CommittedInstrs++
+		c.cycleCommits++
 		c.lastProgress = c.now
 		committed++
 	}

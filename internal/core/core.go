@@ -72,8 +72,14 @@ type Core struct {
 	// Instrumentation.
 	dep          *depTracker
 	tracer       *Tracer
+	tl           *timelineState
 	lastProgress int64
 	statsZero    int64 // cycle at the last ResetStats
+
+	// CPI-stack accounting signals.
+	cycleCommits       int   // correct-path commits this cycle
+	branchRecoverUntil int64 // redirect+refill shadow of the last misprediction
+	raRecoverUntil     int64 // flush+refill shadow of the last runahead exit
 }
 
 type sbEntry struct {
@@ -170,6 +176,7 @@ func (c *Core) Run(target uint64) *Stats {
 // Cycle advances the machine by one clock.
 func (c *Core) Cycle() {
 	c.now++
+	c.cycleCommits = 0
 	c.h.Tick(c.now)
 
 	// Fire core events due this cycle.
@@ -199,6 +206,16 @@ func (c *Core) Cycle() {
 		} else {
 			c.st.RunaheadTradCycles++
 		}
+	}
+	c.accountCycle()
+
+	// Observability hooks: both stay behind nil checks so the hot path is
+	// untouched when tracing and timelines are off.
+	if c.tracer != nil && c.now%sampleInterval == 0 {
+		c.traceSample()
+	}
+	if c.tl != nil {
+		c.tickTimeline()
 	}
 }
 

@@ -1,6 +1,11 @@
 package core
 
-import "runaheadsim/internal/stats"
+import (
+	"fmt"
+	"reflect"
+
+	"runaheadsim/internal/stats"
+)
 
 // Stats aggregates every event counter the figures and the energy model
 // consume. All counts are in micro-ops unless noted.
@@ -39,7 +44,6 @@ type Stats struct {
 	WrongPathLoads uint64
 
 	// Commit-side.
-	CommittedInstrs   uint64 // same as Committed; kept for clarity in reports
 	StoreBufFullStall int64
 	ROBStallCycles    int64 // cycles commit could not retire anything
 	MemStallCycles    int64 // subset of ROBStallCycles where the head was a DRAM-bound load
@@ -88,6 +92,10 @@ type Stats struct {
 	ChainLengths         *stats.Histogram // Fig 5 (uops per miss chain)
 	MissesPerInterval    *stats.Histogram // Fig 10
 	RunaheadIntervalLens *stats.Histogram
+
+	// CPIStack attributes every cycle to exactly one bucket (see CPIBucket);
+	// the per-bucket counts sum to Cycles.
+	CPIStack [NumCPIBuckets]int64
 }
 
 func newStats() *Stats {
@@ -104,4 +112,36 @@ func (s *Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Counters exports every scalar counter into a stats.Set keyed by field
+// name, with histograms summarized as <name>.count/.mean/.max and the CPI
+// stack as cpi.<bucket>. The Set's sorted String renderer gives output whose
+// line set and order are stable across runs and code motion — the format the
+// -stats dump and CI trace-diffing rely on.
+func (s *Stats) Counters() *stats.Set {
+	set := stats.NewSet()
+	v := reflect.ValueOf(s).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		name := t.Field(i).Name
+		switch f.Kind() {
+		case reflect.Int64:
+			set.Add(name, uint64(f.Int()))
+		case reflect.Uint64:
+			set.Add(name, f.Uint())
+		case reflect.Array: // CPIStack
+			for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+				set.Add(fmt.Sprintf("cpi.%s", b), uint64(s.CPIStack[b]))
+			}
+		case reflect.Ptr: // *stats.Histogram
+			if h, ok := f.Interface().(*stats.Histogram); ok && h != nil {
+				set.Add(name+".count", h.Count)
+				set.Add(name+".mean", uint64(h.Mean()))
+				set.Add(name+".max", h.MaxSeen)
+			}
+		}
+	}
+	return set
 }

@@ -1,0 +1,127 @@
+package core
+
+// CPI-stack cycle accounting: every simulated cycle is attributed to exactly
+// one bucket, so per-bucket cycle counts always sum to Stats.Cycles (an
+// invariant the tests enforce). The classification is retirement-centric, the
+// convention CPI stacks use: a cycle is "base" when the machine retired
+// correct-path work, and otherwise is charged to whatever is blocking
+// retirement.
+
+// CPIBucket indexes one slice of the CPI stack.
+type CPIBucket uint8
+
+// The buckets, in stack-rendering order.
+const (
+	// CPIBase: at least one correct-path uop committed this cycle.
+	CPIBase CPIBucket = iota
+	// CPIFrontend: the ROB is empty — fetch/decode could not supply uops
+	// (I-cache misses, fetch-width limits, taken-branch bubbles).
+	CPIFrontend
+	// CPIBranchRecovery: the ROB is empty inside the redirect+refill shadow
+	// of a branch misprediction.
+	CPIBranchRecovery
+	// CPILLCMiss: the ROB head is an in-flight memory access that has not
+	// (yet) been discovered to be DRAM-bound — L1-miss/LLC-hit latency.
+	CPILLCMiss
+	// CPIDRAM: the ROB head is a load waiting on DRAM and the core is NOT in
+	// runahead (stall cycles runahead exists to attack but is not covering).
+	CPIDRAM
+	// CPIRunaheadOverhead: cycles spent in runahead mode plus the flush and
+	// refill shadow after each exit. During these cycles the blocking DRAM
+	// miss is still outstanding, but the machine is doing prefetch work
+	// rather than sitting idle, so they are charged to runahead, not DRAM.
+	CPIRunaheadOverhead
+	// CPIOther: everything else — execution latency at the ROB head,
+	// store-buffer back-pressure, commit-width limits.
+	CPIOther
+
+	// NumCPIBuckets sizes the per-bucket array.
+	NumCPIBuckets
+)
+
+// String implements fmt.Stringer.
+func (b CPIBucket) String() string {
+	switch b {
+	case CPIBase:
+		return "base"
+	case CPIFrontend:
+		return "frontend"
+	case CPIBranchRecovery:
+		return "branch-recovery"
+	case CPILLCMiss:
+		return "llc-miss"
+	case CPIDRAM:
+		return "dram"
+	case CPIRunaheadOverhead:
+		return "runahead-overhead"
+	case CPIOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// CPIBuckets lists the buckets in rendering order.
+func CPIBuckets() []CPIBucket {
+	out := make([]CPIBucket, NumCPIBuckets)
+	for i := range out {
+		out[i] = CPIBucket(i)
+	}
+	return out
+}
+
+// accountCycle attributes the cycle that just executed to exactly one CPI
+// bucket. Called once per Cycle, after all stages have run, so it sees the
+// cycle's commit count and the post-stage machine state.
+func (c *Core) accountCycle() {
+	var b CPIBucket
+	switch {
+	case c.ra.active:
+		b = CPIRunaheadOverhead
+	case c.cycleCommits > 0:
+		b = CPIBase
+	case !c.rob.empty():
+		d := c.rob.at(0)
+		switch {
+		case d.Executed:
+			// Executed but unretired head: store-buffer full or the commit
+			// stage ran before the completion event this cycle.
+			b = CPIOther
+		case d.U.Op.IsLoad() && d.DRAMBound:
+			b = CPIDRAM
+		case d.U.Op.IsMem() && d.memIssued:
+			b = CPILLCMiss
+		default:
+			b = CPIOther
+		}
+	case c.now <= c.raRecoverUntil:
+		// Empty window right after a runahead exit: the flush/refetch cost of
+		// the interval, charged to runahead rather than the front end.
+		b = CPIRunaheadOverhead
+	case c.now <= c.branchRecoverUntil:
+		b = CPIBranchRecovery
+	default:
+		b = CPIFrontend
+	}
+	c.st.CPIStack[b]++
+}
+
+// CPIStackSum returns the total cycles attributed across all buckets. The
+// accounting invariant is CPIStackSum() == Cycles after a Run.
+func (s *Stats) CPIStackSum() int64 {
+	var sum int64
+	for _, v := range s.CPIStack {
+		sum += v
+	}
+	return sum
+}
+
+// CPIFraction returns bucket b's share of all attributed cycles (0 when no
+// cycles have been accounted).
+func (s *Stats) CPIFraction(b CPIBucket) float64 {
+	sum := s.CPIStackSum()
+	if sum == 0 {
+		return 0
+	}
+	return float64(s.CPIStack[b]) / float64(sum)
+}

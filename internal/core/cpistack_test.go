@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"runaheadsim/internal/prog"
+)
+
+// TestCPIStackSumsToCycles is the accounting invariant: every cycle of every
+// run lands in exactly one CPI bucket, so the bucket sum equals the cycle
+// count — across every workload × runahead mode combination.
+func TestCPIStackSumsToCycles(t *testing.T) {
+	progs := []struct {
+		name   string
+		mk     func() *prog.Program
+		target uint64
+	}{
+		{"simple-loop", simpleLoop, 2_000},
+		{"gather-loop", func() *prog.Program { return gatherLoop(4) }, 5_000},
+		{"pointer-chase", pointerChase, 3_000},
+	}
+	modes := []Mode{ModeNone, ModeTraditional, ModeBuffer, ModeBufferCC, ModeHybrid, ModeAdaptive}
+	for _, p := range progs {
+		for _, mode := range modes {
+			t.Run(p.name+"/"+mode.String(), func(t *testing.T) {
+				c := New(testConfig(mode), p.mk())
+				st := c.Run(p.target)
+				if st.Cycles == 0 {
+					t.Fatal("run completed in zero cycles")
+				}
+				if sum := st.CPIStackSum(); sum != st.Cycles {
+					t.Fatalf("CPI stack sum %d != cycles %d (stack: %v)",
+						sum, st.Cycles, st.CPIStack)
+				}
+			})
+		}
+	}
+}
+
+// TestCPIStackSurvivesResetStats checks the invariant still holds when the
+// measurement window starts mid-run (the harness's warmup + ResetStats flow).
+func TestCPIStackSurvivesResetStats(t *testing.T) {
+	c := New(testConfig(ModeBufferCC), gatherLoop(4))
+	c.Run(2_000)
+	c.ResetStats()
+	st := c.Run(c.Stats().Committed + 5_000)
+	if sum := st.CPIStackSum(); sum != st.Cycles {
+		t.Fatalf("post-reset CPI stack sum %d != cycles %d (stack: %v)", sum, st.Cycles, st.CPIStack)
+	}
+}
+
+// TestCPIStackBucketsPlausible sanity-checks bucket attribution on two
+// extremes: a compute loop should be dominated by base cycles, and a
+// memory-bound gather should show memory-side stalls in the baseline.
+func TestCPIStackBucketsPlausible(t *testing.T) {
+	c := New(testConfig(ModeNone), simpleLoop())
+	st := c.Run(5_000)
+	if frac := st.CPIFraction(CPIBase); frac < 0.3 {
+		t.Errorf("compute loop: base fraction %.2f, want >= 0.3 (stack: %v)", frac, st.CPIStack)
+	}
+
+	c = New(testConfig(ModeNone), gatherLoop(0))
+	st = c.Run(5_000)
+	memFrac := st.CPIFraction(CPIDRAM) + st.CPIFraction(CPILLCMiss)
+	if memFrac < 0.2 {
+		t.Errorf("gather loop baseline: memory-stall fraction %.2f, want >= 0.2 (stack: %v)", memFrac, st.CPIStack)
+	}
+
+	c = New(testConfig(ModeBufferCC), gatherLoop(0))
+	st = c.Run(5_000)
+	if st.RunaheadCycles > 0 && st.CPIStack[CPIRunaheadOverhead] == 0 {
+		t.Error("runahead ran but no cycles were attributed to runahead-overhead")
+	}
+}
+
+// TestCPIBucketStrings keeps the bucket labels stable (they appear in CSV
+// headers and report output).
+func TestCPIBucketStrings(t *testing.T) {
+	want := []string{"base", "frontend", "branch-recovery", "llc-miss", "dram", "runahead-overhead", "other"}
+	for i, b := range CPIBuckets() {
+		if b.String() != want[i] {
+			t.Errorf("bucket %d: got %q, want %q", i, b.String(), want[i])
+		}
+	}
+}

@@ -133,7 +133,7 @@ func (c *Core) tryEnterRunahead(d *DynInst) {
 			mode = "buffer"
 			chainLen = chain.Len()
 		}
-		c.traceRunahead("enter pc=%#x mode=%s chain=%d", d.PC, mode, chainLen)
+		c.traceRunaheadEnter(d.PC, mode, chainLen)
 	}
 
 	if c.dep != nil {
@@ -285,7 +285,10 @@ func (c *Core) exitRunahead() {
 	c.ra.pendingExit = false
 	c.ra.chain = nil
 	c.lastProgress = c.now
-	c.traceRunahead("exit  misses=%d", misses)
+	// Empty-window cycles inside this shadow are the interval's exit cost
+	// (CPI-stack runahead-overhead bucket): flush, refetch, refill.
+	c.raRecoverUntil = c.now + 1 + int64(c.cfg.DecodeDepth)
+	c.traceRunaheadExit(misses)
 }
 
 // bufferScore reads the adaptive policy's 2-bit confidence for a blocking

@@ -1,0 +1,84 @@
+package core
+
+import "runaheadsim/internal/stats"
+
+// timelineState accumulates per-interval sums between samples. The per-cycle
+// cost while enabled is two integer adds; when no timeline is attached the
+// only cost is a nil check in Cycle.
+type timelineState struct {
+	tl *stats.Timeline
+
+	// Interval accumulators, reset at each sample.
+	robOccSum    int64
+	mshrOccSum   int64
+	raCycles     int64
+	cycles       int64
+	lastCommit   uint64
+	lastCCHits   uint64
+	lastCCMisses uint64
+}
+
+// SetTimeline attaches a timeline; the core appends one sample every
+// tl.Interval cycles. Passing nil detaches. Attach after ResetStats (or at
+// construction) so interval deltas line up with the measured region.
+func (c *Core) SetTimeline(tl *stats.Timeline) {
+	if tl == nil {
+		c.tl = nil
+		return
+	}
+	c.tl = &timelineState{
+		tl:           tl,
+		lastCommit:   c.st.Committed,
+		lastCCHits:   c.ccache.HitCount,
+		lastCCMisses: c.ccache.MissCount,
+	}
+}
+
+// Timeline returns the attached timeline (nil when sampling is off).
+func (c *Core) Timeline() *stats.Timeline {
+	if c.tl == nil {
+		return nil
+	}
+	return c.tl.tl
+}
+
+// tickTimeline runs once per cycle while a timeline is attached.
+func (c *Core) tickTimeline() {
+	t := c.tl
+	t.robOccSum += int64(c.rob.size())
+	t.mshrOccSum += int64(c.h.OutstandingDataMisses())
+	if c.ra.active {
+		t.raCycles++
+	}
+	t.cycles++
+	if t.cycles < t.tl.Interval {
+		return
+	}
+	n := float64(t.cycles)
+	mode := "normal"
+	if c.ra.active {
+		if c.ra.usingBuffer {
+			mode = "runahead-buffer"
+		} else {
+			mode = "runahead-traditional"
+		}
+	}
+	hits := c.ccache.HitCount - t.lastCCHits
+	misses := c.ccache.MissCount - t.lastCCMisses
+	s := stats.TimelineSample{
+		Cycle:        c.now,
+		Committed:    c.st.Committed,
+		IPC:          float64(c.st.Committed-t.lastCommit) / n,
+		ROBOcc:       float64(t.robOccSum) / n,
+		MSHROcc:      float64(t.mshrOccSum) / n,
+		Mode:         mode,
+		RunaheadFrac: float64(t.raCycles) / n,
+	}
+	if probes := hits + misses; probes > 0 {
+		s.ChainCacheHitRate = float64(hits) / float64(probes)
+	}
+	t.tl.Append(s)
+	t.robOccSum, t.mshrOccSum, t.raCycles, t.cycles = 0, 0, 0, 0
+	t.lastCommit = c.st.Committed
+	t.lastCCHits, t.lastCCMisses = c.ccache.HitCount, c.ccache.MissCount
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"runaheadsim/internal/stats"
+)
+
+// TestCoreTimelineSampling checks the core appends one sample per interval
+// with sane IPC and occupancy values.
+func TestCoreTimelineSampling(t *testing.T) {
+	c := New(testConfig(ModeBufferCC), gatherLoop(4))
+	tl := stats.NewTimeline(256, 1024)
+	c.SetTimeline(tl)
+	st := c.Run(5_000)
+	if got := c.Timeline(); got != tl {
+		t.Fatal("Timeline() must return the attached timeline")
+	}
+	wantSamples := int(st.Cycles / 256)
+	if tl.Len() < wantSamples-1 || tl.Len() == 0 {
+		t.Fatalf("timeline has %d samples over %d cycles (interval 256)", tl.Len(), st.Cycles)
+	}
+	var committedSum float64
+	var sawROB bool
+	prevCycle := int64(0)
+	for _, s := range tl.Samples() {
+		if s.Cycle <= prevCycle {
+			t.Fatalf("samples not strictly increasing in cycle: %v then %v", prevCycle, s.Cycle)
+		}
+		prevCycle = s.Cycle
+		if s.IPC < 0 || s.IPC > float64(testConfig(ModeNone).CommitWidth)+1 {
+			t.Fatalf("implausible interval IPC %v", s.IPC)
+		}
+		if s.ROBOcc > 0 {
+			sawROB = true
+		}
+		if s.Mode == "" {
+			t.Fatal("sample missing mode")
+		}
+		committedSum += s.IPC * 256
+	}
+	if !sawROB {
+		t.Fatal("no sample ever saw a non-empty ROB")
+	}
+	// Interval IPC integrated over the timeline approximates total commits.
+	if committedSum < float64(st.Committed)/2 {
+		t.Fatalf("integrated IPC %v far below committed %d", committedSum, st.Committed)
+	}
+}
+
+// TestCoreTimelineDetach checks nil detaches sampling.
+func TestCoreTimelineDetach(t *testing.T) {
+	c := New(testConfig(ModeNone), simpleLoop())
+	tl := stats.NewTimeline(64, 16)
+	c.SetTimeline(tl)
+	c.Run(500)
+	n := tl.Len()
+	if n == 0 {
+		t.Fatal("attached timeline collected nothing")
+	}
+	c.SetTimeline(nil)
+	if c.Timeline() != nil {
+		t.Fatal("Timeline() must be nil after detach")
+	}
+	c.Run(2_000)
+	if tl.Len() != n {
+		t.Fatal("detached timeline still collected samples")
+	}
+}

@@ -1,92 +1,151 @@
 package core
 
 import (
-	"fmt"
 	"io"
+
+	"runaheadsim/internal/trace"
 )
 
-// Tracer receives a line per pipeline event. Attach one with SetTracer to
-// watch the machine cycle by cycle; the zero-cost default is off. The format
-// is one event per line:
-//
-//	cycle=123 fetch    seq=45 pc=0x400048 muli
-//	cycle=125 dispatch seq=45 rob=17
-//	cycle=127 issue    seq=45
-//	cycle=128 complete seq=45 val=90
-//	cycle=130 commit   seq=45
-//	cycle=140 runahead enter pc=0x400080 mode=buffer chain=9
-//	cycle=260 runahead exit  misses=7
+// sampleInterval is how often an attached tracer emits occupancy Sample
+// events (the Chrome sink's ROB/MSHR counter tracks).
+const sampleInterval = 64
+
+// Tracer forwards structured pipeline events to a trace.Sink until the cycle
+// limit. The zero-cost default is off: every emission site in the pipeline is
+// guarded by a single `c.tracer != nil` check, so a disabled tracer costs
+// nothing on the hot path.
 type Tracer struct {
-	w     io.Writer
-	limit int64 // stop tracing after this cycle (0 = no limit)
+	sink  trace.Sink
+	limit int64 // stop tracing at this cycle (0 = no limit)
+	ev    trace.Event
 }
 
-// SetTracer starts emitting pipeline events to w until cycle limit (0 for
-// unlimited). Passing nil w disables tracing.
+// SetTracer starts emitting the classic text trace to w for every cycle
+// strictly before limit (0 for unlimited). Passing nil w disables tracing.
+// It is a convenience wrapper over SetEventSink with a trace.TextSink.
 func (c *Core) SetTracer(w io.Writer, limit int64) {
 	if w == nil {
-		c.tracer = nil
+		c.SetEventSink(nil, 0)
 		return
 	}
-	c.tracer = &Tracer{w: w, limit: limit}
+	c.SetEventSink(trace.NewTextSink(w), limit)
 }
 
-func (c *Core) tracef(format string, args ...any) {
-	t := c.tracer
-	if t == nil || (t.limit > 0 && c.now > t.limit) {
+// SetEventSink attaches a structured event sink, replacing any previous one.
+// Events are emitted for cycles strictly before limit ("trace until cycle
+// limit"); limit 0 means no limit. Passing a nil sink disables tracing and
+// unhooks the memory-system event callbacks. The caller owns the sink and
+// must Close it after the run to flush buffered output.
+func (c *Core) SetEventSink(s trace.Sink, limit int64) {
+	if s == nil {
+		c.tracer = nil
+		c.h.OnLLCMiss = nil
+		c.h.DRAM().OnGrant = nil
 		return
 	}
-	fmt.Fprintf(t.w, "cycle=%d ", c.now)
-	fmt.Fprintf(t.w, format, args...)
-	fmt.Fprintln(t.w)
+	t := &Tracer{sink: s, limit: limit}
+	c.tracer = t
+	// Memory-system events flow through the same filter. The hooks only cost
+	// a closure call per LLC miss / DRAM grant — never per cycle — and are
+	// removed entirely when tracing is off.
+	c.h.OnLLCMiss = func(now int64, line uint64, instr bool) {
+		if tr := c.tracer; tr != nil && tr.on(now) {
+			tr.ev = trace.Event{Cycle: now, Kind: trace.CacheMiss, Line: line, Instr: instr}
+			tr.sink.Emit(&tr.ev)
+		}
+	}
+	c.h.DRAM().OnGrant = func(now int64, line uint64, write, rowHit bool) {
+		if tr := c.tracer; tr != nil && tr.on(now) {
+			tr.ev = trace.Event{Cycle: now, Kind: trace.DRAMAccess, Line: line, Write: write, RowHit: rowHit}
+			tr.sink.Emit(&tr.ev)
+		}
+	}
+}
+
+// CloseEventSink closes the attached sink (flushing buffered output and, for
+// the Chrome sink, writing the document trailer) and detaches it. It is a
+// no-op when no sink is attached.
+func (c *Core) CloseEventSink() error {
+	t := c.tracer
+	c.SetEventSink(nil, 0)
+	if t == nil {
+		return nil
+	}
+	return t.sink.Close()
+}
+
+// on reports whether events at cycle now pass the limit filter: tracing runs
+// until the limit cycle, i.e. the event at cycle == limit is NOT emitted.
+func (t *Tracer) on(now int64) bool {
+	return t.limit <= 0 || now < t.limit
+}
+
+// emit fills the tracer's reusable event with the common header and hands it
+// to the sink. Callers must have checked c.tracer != nil.
+func (c *Core) emit(ev trace.Event) {
+	t := c.tracer
+	if !t.on(c.now) {
+		return
+	}
+	ev.Cycle = c.now
+	t.ev = ev
+	t.sink.Emit(&t.ev)
 }
 
 func (c *Core) traceFetch(d *DynInst) {
 	if c.tracer != nil {
-		c.tracef("fetch    seq=%d pc=%#x %v predTaken=%v", d.Seq, d.PC, d.U.Op, d.PredTaken)
+		c.emit(trace.Event{Kind: trace.Fetch, Seq: d.Seq, PC: d.PC, Op: d.U.Op.String(), PredTaken: d.PredTaken})
 	}
 }
 
 func (c *Core) traceDispatch(d *DynInst) {
 	if c.tracer != nil {
-		src := ""
-		if d.FromBuffer {
-			src = " from=buffer"
-		}
-		c.tracef("dispatch seq=%d pc=%#x rob=%d%s", d.Seq, d.PC, d.ROBPos, src)
+		c.emit(trace.Event{Kind: trace.Dispatch, Seq: d.Seq, PC: d.PC, ROBPos: d.ROBPos, FromBuffer: d.FromBuffer})
 	}
 }
 
 func (c *Core) traceIssue(d *DynInst) {
 	if c.tracer != nil {
-		c.tracef("issue    seq=%d %v", d.Seq, d.U.Op)
+		c.emit(trace.Event{Kind: trace.Issue, Seq: d.Seq, Op: d.U.Op.String()})
 	}
 }
 
 func (c *Core) traceComplete(d *DynInst) {
 	if c.tracer != nil {
-		extra := ""
-		if d.Poisoned {
-			extra = " POISONED"
-		} else if d.U.Op.IsMem() {
-			extra = fmt.Sprintf(" ea=%#x lvl=%v", d.EA, d.MemLevel)
+		ev := trace.Event{Kind: trace.Complete, Seq: d.Seq, Op: d.U.Op.String(), Value: d.Value, Poisoned: d.Poisoned}
+		if !d.Poisoned && d.U.Op.IsMem() {
+			ev.EA, ev.Level = d.EA, d.MemLevel.String()
 		}
-		c.tracef("complete seq=%d %v val=%d%s", d.Seq, d.U.Op, d.Value, extra)
+		c.emit(ev)
 	}
 }
 
 func (c *Core) traceCommit(d *DynInst, pseudo bool) {
 	if c.tracer != nil {
-		kind := "commit  "
-		if pseudo {
-			kind = "pretire "
-		}
-		c.tracef("%s seq=%d pc=%#x", kind, d.Seq, d.PC)
+		c.emit(trace.Event{Kind: trace.Commit, Seq: d.Seq, PC: d.PC, Op: d.U.Op.String(), Pseudo: pseudo, Start: d.FetchCycle})
 	}
 }
 
-func (c *Core) traceRunahead(event string, args ...any) {
+func (c *Core) traceSquash(d *DynInst) {
 	if c.tracer != nil {
-		c.tracef("runahead "+event, args...)
+		c.emit(trace.Event{Kind: trace.Squash, Seq: d.Seq, PC: d.PC})
 	}
+}
+
+func (c *Core) traceRunaheadEnter(pc uint64, mode string, chainLen int) {
+	if c.tracer != nil {
+		c.emit(trace.Event{Kind: trace.RunaheadEnter, PC: pc, Mode: mode, ChainLen: chainLen})
+	}
+}
+
+func (c *Core) traceRunaheadExit(misses uint64) {
+	if c.tracer != nil {
+		c.emit(trace.Event{Kind: trace.RunaheadExit, Misses: misses})
+	}
+}
+
+// traceSample emits the periodic occupancy snapshot feeding counter tracks.
+// Called from Cycle every sampleInterval cycles while a tracer is attached.
+func (c *Core) traceSample() {
+	c.emit(trace.Event{Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
 }

@@ -85,6 +85,11 @@ type Controller struct {
 	queued  int
 	nextRef []int64
 
+	// OnGrant, when non-nil, is invoked as the controller grants each
+	// request (the observability layer's DRAM-access event hook). rowHit
+	// reports whether the access hit the bank's open row.
+	OnGrant func(now int64, lineAddr uint64, write, rowHit bool)
+
 	// Statistics.
 	Refreshes    uint64
 	Reads        uint64
@@ -212,9 +217,13 @@ func (c *Controller) Tick(now int64) {
 
 func (c *Controller) grant(r *Request, now int64) {
 	b := &c.banks[r.channel][r.bank]
+	rowHit := b.hasOpen && b.openRow == r.row
+	if c.OnGrant != nil {
+		c.OnGrant(now, r.LineAddr, r.Write, rowHit)
+	}
 	var access int
 	switch {
-	case b.hasOpen && b.openRow == r.row:
+	case rowHit:
 		access = c.cfg.TCAS
 		c.RowHits++
 	case !b.hasOpen:

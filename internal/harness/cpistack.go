@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/core"
+)
+
+// CPIStack renders the per-cycle accounting breakdown for every benchmark
+// under the headline configurations: what fraction of each run's cycles went
+// to useful commits, front-end starvation, branch recovery, memory stalls,
+// and runahead overhead. The buckets are exhaustive and exclusive, so each
+// row sums to 100% — the observability counterpart to Figure 1's stall bars.
+func CPIStack(r *Runner) Table {
+	configs := []RunConfig{Baseline, Runahead, BufferCC, Hybrid}
+	cols := []string{"Benchmark", "Config"}
+	for _, b := range core.CPIBuckets() {
+		cols = append(cols, b.String())
+	}
+	t := Table{ID: "cpi-stack", Title: "CPI stack: % of cycles per accounting bucket",
+		Columns: cols}
+	for _, name := range r.mhNames() {
+		for _, rc := range configs {
+			st := r.Result(name, rc).Stats
+			row := []string{name, rc.Label()}
+			for _, b := range core.CPIBuckets() {
+				row = append(row, pct(100*st.CPIFraction(b)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"buckets are exclusive and exhaustive: each row sums to 100% of the run's cycles",
+		fmt.Sprintf("sampled under the headline configs: %s, %s, %s, %s",
+			configs[0].Label(), configs[1].Label(), configs[2].Label(), configs[3].Label()))
+	return t
+}

@@ -422,5 +422,6 @@ func Experiments() []Experiment {
 		{"sens-chaincache", SensChainCache},
 		{"ext-prefetchers", ExtPrefetchers},
 		{"ext-adaptive", ExtAdaptive},
+		{"cpi-stack", CPIStack},
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/energy"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
@@ -81,6 +82,10 @@ type Result struct {
 	Stats  *core.Stats
 	Energy energy.Breakdown
 
+	// Timeline holds the run's interval samples when the runner's
+	// TimelineInterval option is set (nil otherwise).
+	Timeline *stats.Timeline
+
 	IPC          float64
 	MPKI         float64
 	MemStallPct  float64
@@ -101,6 +106,12 @@ type Options struct {
 	// set). Used by the scaled-down `go test -bench` harness.
 	Benchmarks []string
 	Progress   func(bench, config string)
+
+	// TimelineInterval, when positive, attaches an interval sampler to every
+	// measured run; each Result then carries a Timeline. TimelineSamples
+	// bounds the retained ring (0 = 4096).
+	TimelineInterval int64
+	TimelineSamples  int
 }
 
 // DefaultOptions is the sweep default.
@@ -171,12 +182,22 @@ func (r *Runner) Result(bench string, rc RunConfig) *Result {
 	c := core.New(cfg, workload.MustLoad(bench))
 	c.Run(r.opts.warmup(spec.Class))
 	c.ResetStats()
+	var tl *stats.Timeline
+	if r.opts.TimelineInterval > 0 {
+		n := r.opts.TimelineSamples
+		if n <= 0 {
+			n = 4096
+		}
+		tl = stats.NewTimeline(r.opts.TimelineInterval, n)
+		c.SetTimeline(tl)
+	}
 	st := c.Run(r.opts.MeasureUops)
 
 	res := &Result{
 		Bench:        bench,
 		Config:       rc,
 		Stats:        st,
+		Timeline:     tl,
 		Energy:       energy.Compute(energy.DefaultParams(), energy.Measure(c)),
 		IPC:          st.IPC(),
 		MPKI:         1000 * float64(c.Hierarchy().LLCDemandMisses) / float64(st.Committed),

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -78,13 +79,14 @@ func TestExperimentsListComplete(t *testing.T) {
 	}
 	for _, want := range []string{"table1", "table2", "figure1", "figure2", "figure3", "figure4",
 		"figure5", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-		"figure15", "figure16", "figure17", "figure18", "sens-buffer", "sens-chaincache"} {
+		"figure15", "figure16", "figure17", "figure18", "sens-buffer", "sens-chaincache",
+		"cpi-stack"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing", want)
 		}
 	}
-	if len(ids) != 21 {
-		t.Fatalf("expected 21 experiments, have %d", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("expected 22 experiments, have %d", len(ids))
 	}
 }
 
@@ -229,6 +231,73 @@ func TestReportRunsSmall(t *testing.T) {
 	tb := Report(r)
 	if len(tb.Rows) != len(Claims()) {
 		t.Fatalf("report rows = %d, want %d", len(tb.Rows), len(Claims()))
+	}
+}
+
+// TestCPIStackTable checks every row of the CPI-stack experiment sums to
+// (approximately) 100% — the rendering-level view of the accounting
+// invariant.
+func TestCPIStackTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{MeasureUops: 8_000, WarmupUops: 8_000, Benchmarks: []string{"mcf", "zeusmp"}})
+	tb := CPIStack(r)
+	if len(tb.Rows) != 8 { // 2 benchmarks x 4 configs
+		t.Fatalf("cpi-stack rows = %d, want 8", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var sum float64
+		for _, cell := range row[2:] {
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%f%%", &v); err != nil {
+				t.Fatalf("unparseable cell %q in row %v", cell, row)
+			}
+			sum += v
+		}
+		if sum < 99.0 || sum > 101.0 {
+			t.Fatalf("row %v sums to %.1f%%, want ~100%%", row, sum)
+		}
+	}
+}
+
+// TestRunnerTimelineOption checks the TimelineInterval option produces a
+// populated timeline on every result.
+func TestRunnerTimelineOption(t *testing.T) {
+	r := NewRunner(Options{MeasureUops: 8_000, WarmupUops: 8_000, TimelineInterval: 512, TimelineSamples: 64})
+	res := r.Result("mcf", Baseline)
+	if res.Timeline == nil || res.Timeline.Len() == 0 {
+		t.Fatal("timeline option produced no samples")
+	}
+	for _, s := range res.Timeline.Samples() {
+		if s.IPC < 0 || s.Mode == "" {
+			t.Fatalf("malformed sample %+v", s)
+		}
+	}
+	// Without the option the field stays nil.
+	r2 := quick()
+	if r2.Result("mcf", Baseline).Timeline != nil {
+		t.Fatal("timeline must be nil when the option is off")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Columns: []string{"A", "B"}, Notes: []string{"n"}}
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != "x" || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
+		t.Fatalf("JSON export lost data: %+v", doc)
 	}
 }
 

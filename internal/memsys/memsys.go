@@ -129,6 +129,12 @@ type Hierarchy struct {
 	dramWait []*dram.Request // overflow when the 64-entry memory queue is full
 	llcRetry []func() bool   // demand misses waiting for a free LLC MSHR
 
+	// OnLLCMiss, when non-nil, is invoked on every LLC demand miss (the
+	// observability layer's cache-miss event hook). It fires at miss
+	// discovery, before MSHR allocation, so the consumer sees misses that
+	// merge or wait for structural resources too.
+	OnLLCMiss func(now int64, line uint64, instr bool)
+
 	// Statistics.
 	Loads, Stores, Fetches uint64
 	LLCDemandAccesses      uint64
@@ -356,6 +362,9 @@ func (h *Hierarchy) llcAccess(line uint64, kind reqKind) {
 		h.LLCDemandAccesses++
 		if !hit {
 			h.LLCDemandMisses++
+			if h.OnLLCMiss != nil {
+				h.OnLLCMiss(h.now, line, kind == kindInstr)
+			}
 		}
 		if h.pf != nil {
 			for _, pa := range h.pf.Train(line, hit, wasPf) {

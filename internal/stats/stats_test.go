@@ -133,3 +133,73 @@ func TestHistogramPanicsOnBadArgs(t *testing.T) {
 	}()
 	NewHistogram(0, 0)
 }
+
+func TestHistogramPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with zero bucket width must panic")
+		}
+	}()
+	NewHistogram(4, 0)
+}
+
+func TestHistogramOverflowClampsToLastBucket(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(39)             // last in-range bucket
+	h.Observe(40)             // first overflow value
+	h.Observe(math.MaxUint64) // extreme overflow
+	if h.Buckets[3] != 3 {
+		t.Fatalf("overflow samples must clamp into the last bucket, got %v", h.Buckets)
+	}
+	if h.Count != 3 || h.MaxSeen != math.MaxUint64 {
+		t.Fatalf("count/max = %d/%d", h.Count, h.MaxSeen)
+	}
+	// Percentile of an all-overflow distribution is the histogram's top edge.
+	if p := h.Percentile(1.0); p != 40 {
+		t.Fatalf("p100 = %d, want 40 (top edge)", p)
+	}
+}
+
+func TestSetCreationOrderStable(t *testing.T) {
+	s := NewSet()
+	in := []string{"z", "m", "a", "q", "b"}
+	for _, n := range in {
+		s.Counter(n)
+	}
+	// Re-requesting existing counters must not reorder or duplicate.
+	s.Counter("a")
+	s.Counter("z")
+	names := s.Names()
+	if len(names) != len(in) {
+		t.Fatalf("Names = %v, want %v (no duplicates)", names, in)
+	}
+	for i, n := range in {
+		if names[i] != n {
+			t.Fatalf("Names = %v, want creation order %v", names, in)
+		}
+	}
+	// Names returns a copy: mutating it must not corrupt the set.
+	names[0] = "corrupted"
+	if s.Names()[0] != "z" {
+		t.Fatal("Names must return a copy")
+	}
+}
+
+func TestSetStringSortedByName(t *testing.T) {
+	s := NewSet()
+	s.Add("zeta", 1)
+	s.Add("alpha", 2)
+	out := s.String()
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("String must render sorted by name:\n%s", out)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	if Ratio(0, 0) != 0 || Pct(7, 0) != 0 {
+		t.Fatal("zero denominators must yield 0, not NaN/Inf")
+	}
+	if v := PctDelta(0, 0); v != 0 || math.IsNaN(v) {
+		t.Fatal("PctDelta(0,0) must be 0")
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TimelineSample is one per-interval snapshot of the machine: the interval's
+// IPC, average occupancies, the execution mode, and cumulative progress. The
+// fields cover what SimPoint-style interval analysis and phase plots need.
+type TimelineSample struct {
+	// Cycle is the cycle at which the sample was taken (the interval's end).
+	Cycle int64 `json:"cycle"`
+	// Committed is the cumulative correct-path committed uop count.
+	Committed uint64 `json:"committed"`
+	// IPC is the interval's committed uops per cycle.
+	IPC float64 `json:"ipc"`
+	// ROBOcc is the interval's average reorder-buffer occupancy.
+	ROBOcc float64 `json:"robOcc"`
+	// MSHROcc is the interval's average outstanding L1D miss count.
+	MSHROcc float64 `json:"mshrOcc"`
+	// Mode is the execution mode at sample time: "normal", "runahead-buffer"
+	// or "runahead-traditional".
+	Mode string `json:"mode"`
+	// RunaheadFrac is the fraction of the interval's cycles spent in
+	// runahead.
+	RunaheadFrac float64 `json:"runaheadFrac"`
+	// ChainCacheHitRate is the interval's chain-cache hit rate (0 when the
+	// interval had no chain-cache probes).
+	ChainCacheHitRate float64 `json:"chainCacheHitRate"`
+}
+
+// Timeline is a bounded ring of per-interval samples. When the ring is full
+// the oldest samples are overwritten, so long runs keep the most recent
+// window at a fixed memory cost; Dropped counts what was lost.
+type Timeline struct {
+	// Interval is the sampling period in cycles.
+	Interval int64
+
+	samples []TimelineSample
+	cap     int
+	start   int
+	dropped uint64
+}
+
+// NewTimeline returns a timeline sampling every interval cycles and
+// retaining at most maxSamples (the ring capacity).
+func NewTimeline(interval int64, maxSamples int) *Timeline {
+	if interval <= 0 || maxSamples <= 0 {
+		panic("stats: timeline needs a positive interval and capacity")
+	}
+	return &Timeline{Interval: interval, cap: maxSamples}
+}
+
+// Append records one sample, evicting the oldest when the ring is full.
+func (t *Timeline) Append(s TimelineSample) {
+	if len(t.samples) < t.cap {
+		t.samples = append(t.samples, s)
+		return
+	}
+	t.samples[t.start] = s
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Len returns the number of retained samples.
+func (t *Timeline) Len() int { return len(t.samples) }
+
+// Dropped returns how many samples were evicted by the ring.
+func (t *Timeline) Dropped() uint64 { return t.dropped }
+
+// Samples returns the retained samples, oldest first.
+func (t *Timeline) Samples() []TimelineSample {
+	out := make([]TimelineSample, 0, len(t.samples))
+	out = append(out, t.samples[t.start:]...)
+	out = append(out, t.samples[:t.start]...)
+	return out
+}
+
+// WriteCSV renders the timeline as CSV with a header row, one row per
+// sample.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,committed,ipc,rob_occ,mshr_occ,mode,runahead_frac,chain_cache_hit_rate"); err != nil {
+		return err
+	}
+	for _, s := range t.Samples() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.2f,%.2f,%s,%.3f,%.3f\n",
+			s.Cycle, s.Committed, s.IPC, s.ROBOcc, s.MSHROcc, s.Mode, s.RunaheadFrac, s.ChainCacheHitRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the timeline as one JSON object with the sampling
+// interval, drop count, and the sample array.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Interval int64            `json:"interval"`
+		Dropped  uint64           `json:"dropped"`
+		Samples  []TimelineSample `json:"samples"`
+	}{t.Interval, t.dropped, t.Samples()})
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample(cycle int64) TimelineSample {
+	return TimelineSample{Cycle: cycle, Committed: uint64(cycle), IPC: 1}
+}
+
+func TestTimelineAppendAndOrder(t *testing.T) {
+	tl := NewTimeline(100, 4)
+	for c := int64(1); c <= 3; c++ {
+		tl.Append(sample(c * 100))
+	}
+	if tl.Len() != 3 || tl.Dropped() != 0 {
+		t.Fatalf("len/dropped = %d/%d", tl.Len(), tl.Dropped())
+	}
+	ss := tl.Samples()
+	for i, s := range ss {
+		if s.Cycle != int64(i+1)*100 {
+			t.Fatalf("samples out of order: %v", ss)
+		}
+	}
+}
+
+func TestTimelineRingEvictsOldest(t *testing.T) {
+	tl := NewTimeline(10, 3)
+	for c := int64(1); c <= 5; c++ {
+		tl.Append(sample(c * 10))
+	}
+	if tl.Len() != 3 || tl.Dropped() != 2 {
+		t.Fatalf("len/dropped = %d/%d, want 3/2", tl.Len(), tl.Dropped())
+	}
+	ss := tl.Samples()
+	want := []int64{30, 40, 50}
+	for i, s := range ss {
+		if s.Cycle != want[i] {
+			t.Fatalf("ring kept %v, want cycles %v", ss, want)
+		}
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := NewTimeline(10, 4)
+	tl.Append(TimelineSample{Cycle: 10, Committed: 25, IPC: 2.5, ROBOcc: 100.25, Mode: "normal"})
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV = %q, want header + 1 row", sb.String())
+	}
+	if lines[0] != "cycle,committed,ipc,rob_occ,mshr_occ,mode,runahead_frac,chain_cache_hit_rate" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,25,2.5000,100.25,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestTimelineJSON(t *testing.T) {
+	tl := NewTimeline(10, 2)
+	for c := int64(1); c <= 3; c++ {
+		tl.Append(sample(c * 10))
+	}
+	var sb strings.Builder
+	if err := tl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Interval int64            `json:"interval"`
+		Dropped  uint64           `json:"dropped"`
+		Samples  []TimelineSample `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("timeline JSON does not parse: %v", err)
+	}
+	if doc.Interval != 10 || doc.Dropped != 1 || len(doc.Samples) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestTimelinePanicsOnBadArgs(t *testing.T) {
+	for _, args := range [][2]int64{{0, 4}, {10, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTimeline(%d, %d) must panic", args[0], args[1])
+				}
+			}()
+			NewTimeline(args[0], int(args[1]))
+		}()
+	}
+}

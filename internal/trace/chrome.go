@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ChromeSink writes Chrome trace_event JSON (the "JSON Object Format" with a
+// traceEvents array), which Perfetto and chrome://tracing open directly. One
+// simulated cycle maps to one microsecond of trace time.
+//
+// Tracks:
+//   - "runahead mode": B/E slices spanning each runahead interval, named by
+//     the flavour ("runahead(buffer)" / "runahead(traditional)").
+//   - "pipeline lane N": one X (complete) slice per committed instruction,
+//     spanning fetch to retirement; overlapping lifetimes spread across lanes
+//     so concurrent instructions render side by side.
+//   - "LLC misses" / "DRAM": instant events for memory traffic.
+//   - "ROB" / "MSHR" counter tracks, fed by Sample events.
+//
+// The sink streams: events are written as they arrive and the closing
+// bracket is appended by Close, so arbitrarily long traces never buffer in
+// memory.
+type ChromeSink struct {
+	w     *bufio.Writer
+	first bool
+
+	named    map[int]bool // tids with a thread_name metadata record
+	laneEnds []int64      // per-lane last slice end, for lane assignment
+	raOpen   bool
+	raName   string
+	lastTS   int64
+}
+
+// Thread IDs for the fixed tracks; pipeline lanes start at laneBase.
+const (
+	chromePID   = 1
+	tidRunahead = 1
+	tidLLCMiss  = 2
+	tidDRAM     = 3
+	laneBase    = 16
+	maxLanes    = 32
+)
+
+// NewChromeSink returns a Chrome trace_event sink writing to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), first: true, named: make(map[int]bool)}
+	s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	s.meta("process_name", 0, "runaheadsim")
+	return s
+}
+
+// sep writes the record separator (none before the first record).
+func (s *ChromeSink) sep() {
+	if s.first {
+		s.first = false
+		s.w.WriteByte('\n')
+		return
+	}
+	s.w.WriteString(",\n")
+}
+
+// meta writes a metadata record; tid 0 names the process.
+func (s *ChromeSink) meta(kind string, tid int, name string) {
+	s.sep()
+	if kind == "process_name" {
+		fmt.Fprintf(s.w, `{"name":"process_name","ph":"M","pid":%d,"args":{"name":%q}}`, chromePID, name)
+		return
+	}
+	fmt.Fprintf(s.w, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, chromePID, tid, name)
+}
+
+// ensureThread lazily emits the thread_name record for tid.
+func (s *ChromeSink) ensureThread(tid int, name string) {
+	if !s.named[tid] {
+		s.named[tid] = true
+		s.meta("thread_name", tid, name)
+	}
+}
+
+// lane finds a pipeline lane free at cycle start (greedy first-fit; when all
+// lanes are busy the least-loaded lane absorbs the overlap).
+func (s *ChromeSink) lane(start int64) int {
+	best, bestEnd := -1, int64(0)
+	for i, end := range s.laneEnds {
+		if end <= start {
+			return i
+		}
+		if best < 0 || end < bestEnd {
+			best, bestEnd = i, end
+		}
+	}
+	if len(s.laneEnds) < maxLanes {
+		s.laneEnds = append(s.laneEnds, 0)
+		return len(s.laneEnds) - 1
+	}
+	return best
+}
+
+// Emit implements Sink. Only the kinds with a track render; the fine-grained
+// per-stage events (fetch/dispatch/issue/complete) are folded into the
+// commit-time lifetime slice.
+func (s *ChromeSink) Emit(ev *Event) {
+	if ev.Cycle > s.lastTS {
+		s.lastTS = ev.Cycle
+	}
+	switch ev.Kind {
+	case Commit:
+		if ev.Pseudo {
+			return // chain-loop iterations would swamp the lifetime tracks
+		}
+		start := ev.Start
+		if start > ev.Cycle {
+			start = ev.Cycle
+		}
+		l := s.lane(start)
+		dur := ev.Cycle - start
+		s.laneEnds[l] = start + dur
+		tid := laneBase + l
+		s.ensureThread(tid, fmt.Sprintf("pipeline lane %d", l))
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"seq":%d,"pc":"%#x"}}`,
+			ev.Op, start, dur, chromePID, tid, ev.Seq, ev.PC)
+	case RunaheadEnter:
+		s.ensureThread(tidRunahead, "runahead mode")
+		if s.raOpen {
+			s.closeRunahead(ev.Cycle) // defensive: unmatched enter
+		}
+		s.raOpen = true
+		s.raName = "runahead(" + ev.Mode + ")"
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":%q,"ph":"B","ts":%d,"pid":%d,"tid":%d,"args":{"pc":"%#x","chain":%d}}`,
+			s.raName, ev.Cycle, chromePID, tidRunahead, ev.PC, ev.ChainLen)
+	case RunaheadExit:
+		if !s.raOpen {
+			return
+		}
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":%d,"args":{"misses":%d}}`,
+			s.raName, ev.Cycle, chromePID, tidRunahead, ev.Misses)
+		s.raOpen = false
+	case CacheMiss:
+		s.ensureThread(tidLLCMiss, "LLC misses")
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":"llc-miss","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"line":"%#x","instr":%v}}`,
+			ev.Cycle, chromePID, tidLLCMiss, ev.Line, ev.Instr)
+	case DRAMAccess:
+		s.ensureThread(tidDRAM, "DRAM")
+		op := "dram-read"
+		if ev.Write {
+			op = "dram-write"
+		}
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"line":"%#x","rowHit":%v}}`,
+			op, ev.Cycle, chromePID, tidDRAM, ev.Line, ev.RowHit)
+	case Sample:
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":"ROB","ph":"C","ts":%d,"pid":%d,"args":{"entries":%d}}`,
+			ev.Cycle, chromePID, ev.ROBOcc)
+		s.sep()
+		fmt.Fprintf(s.w, `{"name":"MSHR","ph":"C","ts":%d,"pid":%d,"args":{"outstanding":%d}}`,
+			ev.Cycle, chromePID, ev.MSHROcc)
+	}
+}
+
+func (s *ChromeSink) closeRunahead(ts int64) {
+	s.sep()
+	fmt.Fprintf(s.w, `{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":%d}`, s.raName, ts, chromePID, tidRunahead)
+	s.raOpen = false
+}
+
+// Close balances any open slice, terminates the JSON document, and flushes.
+func (s *ChromeSink) Close() error {
+	if s.raOpen {
+		s.closeRunahead(s.lastTS)
+	}
+	s.w.WriteString("\n]}\n")
+	return s.w.Flush()
+}

@@ -33,6 +33,7 @@ import (
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/energy"
 	"runaheadsim/internal/harness"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
@@ -92,6 +93,12 @@ type Config struct {
 	WarmupUops uint64
 	// MeasureUops is the measured instruction budget (0 = 150k).
 	MeasureUops uint64
+	// TimelineInterval, when positive, samples IPC/occupancy/mode every N
+	// cycles of the measured region; the samples land in Result.Timeline.
+	TimelineInterval int64
+	// TimelineSamples bounds the retained timeline ring (0 = 4096). When the
+	// run outlives the ring the oldest samples are evicted.
+	TimelineSamples int
 }
 
 // Result summarizes a simulation.
@@ -127,6 +134,11 @@ type Result struct {
 	// in the chain cache when the run ended (buffer modes only).
 	Chains []string
 
+	// Timeline holds the measured region's interval samples when
+	// Config.TimelineInterval was set (nil otherwise). Use its WriteCSV /
+	// WriteJSON methods to export.
+	Timeline *stats.Timeline
+
 	// Stats exposes every raw counter for advanced use.
 	Stats *core.Stats
 }
@@ -158,7 +170,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("runaheadsim: unknown benchmark %q (have %s)",
 			cfg.Benchmark, strings.Join(names, ", "))
 	}
-	r := harness.NewRunner(harness.Options{MeasureUops: cfg.MeasureUops, WarmupUops: cfg.WarmupUops})
+	r := harness.NewRunner(harness.Options{
+		MeasureUops:      cfg.MeasureUops,
+		WarmupUops:       cfg.WarmupUops,
+		TimelineInterval: cfg.TimelineInterval,
+		TimelineSamples:  cfg.TimelineSamples,
+	})
 	rc := harness.RunConfig{Mode: cm, Enhancements: cfg.Enhancements, Prefetch: cfg.Prefetcher, DepTrack: cfg.DepTrack}
 	res := r.Result(cfg.Benchmark, rc)
 	base := res
@@ -183,6 +200,7 @@ func Run(cfg Config) (Result, error) {
 		DRAMRequests:         res.DRAMRequests,
 		TrafficDeltaPct:      100 * (float64(res.DRAMRequests)/float64(base.DRAMRequests) - 1),
 		Chains:               res.Chains,
+		Timeline:             res.Timeline,
 		Stats:                st,
 	}
 	if st.RunaheadIntervals > 0 {
