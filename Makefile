@@ -1,12 +1,25 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet bench sweep report examples clean
+.PHONY: test vet lint check bench sweep report examples clean
 
 test:
 	go test ./...
 
 vet:
 	go vet ./...
+
+# Static analysis: go vet plus the repo-specific simlint analyzers
+# (determinism, stats hygiene, trace hygiene). See DESIGN.md, "Correctness
+# tooling".
+lint:
+	go vet ./...
+	go run ./cmd/simlint ./internal/... ./cmd/...
+
+# Runtime sanitizer: the simcheck build tag attaches the lockstep
+# architectural oracle and per-cycle invariant sweep to every simulation the
+# test suite runs.
+check:
+	go test -tags simcheck ./...
 
 # One scaled-down benchmark per paper table/figure, plus ablations.
 bench:

@@ -17,6 +17,7 @@ import (
 	"runaheadsim"
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/prog"
+	"runaheadsim/internal/simcheck"
 	"runaheadsim/internal/stats"
 	"runaheadsim/internal/trace"
 	"runaheadsim/internal/workload"
@@ -39,6 +40,7 @@ func main() {
 		tlEach = flag.Int64("timeline", 0, "sample IPC/occupancy/mode every N cycles and export the timeline")
 		tlOut  = flag.String("timeline-out", "", "write the timeline to this file (default stdout)")
 		tlFmt  = flag.String("timeline-format", "csv", "timeline format: csv | json")
+		check  = flag.Bool("check", simcheck.TagEnabled, "run the simcheck sanitizer (lockstep oracle + structural invariants)")
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		all    = flag.Bool("all-modes", false, "run every runahead mode on the benchmark and print a comparison")
 		pipe   = flag.Bool("pipeline", false, "print the Figure 6 pipeline diagram and exit")
@@ -79,7 +81,7 @@ func main() {
 		if cycles <= 0 {
 			cycles = 10_000
 		}
-		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, cycles, *trFmt, *trOut)
+		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, cycles, *trFmt, *trOut, *check)
 		return
 	}
 
@@ -91,6 +93,7 @@ func main() {
 		MeasureUops:      *uops,
 		WarmupUops:       *warmup,
 		TimelineInterval: *tlEach,
+		Check:            *check,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -166,7 +169,7 @@ func writeTimeline(tl *stats.Timeline, format, out string) error {
 }
 
 // tracePipeline drops below the facade to attach a cycle-by-cycle tracer.
-func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string) {
+func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string, check bool) {
 	cfg := core.DefaultConfig()
 	switch mode {
 	case "baseline":
@@ -206,9 +209,16 @@ func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64
 		os.Exit(1)
 	}
 	c := core.New(cfg, p)
+	var chk *simcheck.Checker
+	if check {
+		chk = simcheck.Attach(c, p, simcheck.Options{})
+	}
 	c.SetEventSink(sink, cycles)
 	for c.Now() < cycles {
 		c.Cycle()
+	}
+	if chk != nil {
+		chk.Finish()
 	}
 	if err := c.CloseEventSink(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

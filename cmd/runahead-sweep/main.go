@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"runaheadsim/internal/harness"
@@ -80,11 +81,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var unknown []string
+	//simlint:allow determinism -- collected ids are sorted before reporting
 	for id := range want {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(1)
+			unknown = append(unknown, id)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiments: %s\n", strings.Join(unknown, ", "))
+		os.Exit(1)
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments selected")

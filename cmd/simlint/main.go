@@ -1,0 +1,63 @@
+// Command simlint runs the repository's static-analysis pass: repo-specific
+// analyzers (determinism, stats hygiene, trace hygiene) built purely on
+// go/ast and go/types. It exits nonzero if any finding survives the
+// //simlint:allow suppressions.
+//
+// Usage:
+//
+//	go run ./cmd/simlint [patterns...]
+//
+// Patterns are go-style ("./...", "./internal/...", "./cmd/simlint") and
+// default to ./internal/... ./cmd/... relative to the enclosing module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"runaheadsim/internal/simlint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [patterns...]\n\nAnalyzers:\n")
+		for _, a := range simlint.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := simlint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := simlint.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags := simlint.Run(pkgs, simlint.All)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("simlint: %d packages clean\n", len(pkgs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,13 @@ type MSHRFile struct {
 	// Peak is the maximum simultaneous occupancy seen — the MLP ceiling a
 	// run actually reached, plotted against capacity by the timeline tools.
 	Peak int
+
+	// Lifetime conservation counters. Unlike Allocs (zeroed by ResetStats
+	// while entries are outstanding), these are never reset, so
+	// allocTotal == completeTotal + Outstanding() holds at all times; see
+	// CheckConservation.
+	allocTotal    uint64
+	completeTotal uint64
 }
 
 // MSHR is one outstanding line fill.
@@ -67,6 +74,7 @@ func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
 	m := &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
 	f.entries[lineAddr] = m
 	f.Allocs++
+	f.allocTotal++
 	if n := len(f.entries); n > f.Peak {
 		f.Peak = n
 	}
@@ -93,11 +101,16 @@ func (f *MSHRFile) Complete(lineAddr uint64) *MSHR {
 		panic("cache: completing MSHR that was never allocated")
 	}
 	delete(f.entries, lineAddr)
+	f.completeTotal++
 	return m
 }
 
 // Outstanding returns the number of in-flight entries.
 func (f *MSHRFile) Outstanding() int { return len(f.entries) }
 
-// Clear drops all entries (used only by whole-machine reset in tests).
-func (f *MSHRFile) Clear() { clear(f.entries) }
+// Clear drops all entries (used only by whole-machine reset in tests). The
+// dropped entries count as completed so conservation keeps holding.
+func (f *MSHRFile) Clear() {
+	clear(f.entries)
+	f.completeTotal = f.allocTotal
+}

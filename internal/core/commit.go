@@ -60,6 +60,9 @@ func (c *Core) commitStage() {
 		c.cycleCommits++
 		c.lastProgress = c.now
 		committed++
+		if c.onCommit != nil {
+			c.onCommit(d)
+		}
 	}
 }
 

@@ -73,6 +73,8 @@ type Core struct {
 	dep          *depTracker
 	tracer       *Tracer
 	tl           *timelineState
+	onCommit     func(*DynInst) // correct-path retirement hook (simcheck oracle)
+	onCycle      func()         // end-of-cycle hook (simcheck invariants)
 	lastProgress int64
 	statsZero    int64 // cycle at the last ResetStats
 
@@ -216,6 +218,9 @@ func (c *Core) Cycle() {
 	}
 	if c.tl != nil {
 		c.tickTimeline()
+	}
+	if c.onCycle != nil {
+		c.onCycle()
 	}
 }
 

@@ -132,3 +132,44 @@ func TestFuzzDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, n1, c2, n2)
 	}
 }
+
+// FuzzEquivalence is the native fuzz target behind the two tests above: the
+// fuzzer mutates (seed, mode, enhancement bits), each input generating a
+// random program that must commit exactly what the interpreter computes
+// while every structural invariant holds on every cycle. CI runs it briefly
+// (-fuzz FuzzEquivalence -fuzztime 30s); locally it doubles as a regression
+// runner over the seed corpus.
+func FuzzEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(0), false, false)
+	f.Add(int64(2), byte(1), true, false)
+	f.Add(int64(3), byte(2), false, true)
+	f.Add(int64(4), byte(3), true, true)
+	modes := []Mode{ModeNone, ModeTraditional, ModeBufferCC, ModeHybrid}
+	f.Fuzz(func(t *testing.T, seed int64, modeByte byte, enh, pf bool) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		cfg := testConfig(modes[int(modeByte)%len(modes)])
+		cfg.Enhancements = enh
+		cfg.Mem.EnablePrefetch = pf
+		c := New(cfg, p)
+		c.SetCycleHook(func() {
+			deep := c.Now()%256 == 0
+			if err := c.CheckInvariants(deep); err != nil {
+				t.Fatalf("cycle %d: %v\n%s", c.Now(), err, c.DebugDump())
+			}
+		})
+		st := c.Run(8_000)
+		in := prog.NewInterp(p)
+		in.Run(st.Committed)
+		regs := c.ArchRegs()
+		for r := 0; r < isa.NumArchRegs; r++ {
+			if regs[r] != in.Regs[r] {
+				t.Fatalf("r%d = %d, interpreter %d", r, regs[r], in.Regs[r])
+			}
+		}
+		if !c.Mem().Equal(in.Mem) {
+			addr, _ := c.Mem().FirstDiff(in.Mem)
+			t.Fatalf("memory differs at %#x", addr)
+		}
+	})
+}

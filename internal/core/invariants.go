@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/isa"
+)
+
+// This file is the core half of the simcheck sanitizer: hook registration
+// plus the structural invariants of the out-of-order engine. The checks are
+// split by cost — CheckInvariants(false) is O(ROB) and safe to run every
+// cycle; CheckInvariants(true) adds the full physical-register partition and
+// cache-array scans, which the sanitizer runs on a coarser interval and at
+// the end of a run.
+
+// SetCommitHook registers fn to run after every correct-path retirement,
+// with the retired instruction (runahead pseudo-retires do not fire it).
+// The simcheck lockstep oracle attaches here. Passing nil detaches.
+func (c *Core) SetCommitHook(fn func(*DynInst)) { c.onCommit = fn }
+
+// SetCycleHook registers fn to run at the end of every Cycle, after all
+// stages and accounting. The simcheck invariant sweep attaches here.
+// Passing nil detaches.
+func (c *Core) SetCycleHook(fn func()) { c.onCycle = fn }
+
+// DebugDump renders a short machine-state summary (cycle, occupancies, the
+// oldest ROB entries) for sanitizer reports and debugging.
+func (c *Core) DebugDump() string { return c.dump() }
+
+// CheckInvariants verifies the core's structural invariants and those of its
+// memory hierarchy, returning the first violation. With deep false only the
+// per-cycle-cheap checks run: ROB seq order, queue-occupancy conservation,
+// free-list count conservation, and MSHR conservation. deep adds the exact
+// physical-register partition, runahead-cache LRU integrity, cache LRU
+// integrity, and inclusive-LLC containment.
+func (c *Core) CheckInvariants(deep bool) error {
+	if err := c.checkFast(); err != nil {
+		return err
+	}
+	if deep {
+		if err := c.checkDeep(); err != nil {
+			return err
+		}
+	}
+	return c.h.CheckInvariants(deep)
+}
+
+// checkFast holds the O(ROB) per-cycle checks.
+func (c *Core) checkFast() error {
+	// ROB seq order: program-order allocation means strictly increasing
+	// sequence numbers from head to tail.
+	var loads, stores, unissued, polds int
+	for i := 0; i < c.rob.size(); i++ {
+		d := c.rob.at(i)
+		if d == nil {
+			return fmt.Errorf("rob[%d] is nil with count %d", i, c.rob.size())
+		}
+		if i > 0 && d.Seq <= c.rob.at(i-1).Seq {
+			return fmt.Errorf("rob seq order broken: rob[%d] seq %d after rob[%d] seq %d",
+				i, d.Seq, i-1, c.rob.at(i-1).Seq)
+		}
+		if d.U.Op.IsLoad() {
+			loads++
+		}
+		if d.U.Op.IsStore() {
+			stores++
+		}
+		if d.Renamed && !d.Issued {
+			unissued++
+		}
+		if d.POld != noPhys {
+			polds++
+		}
+	}
+	if loads != c.lqCount {
+		return fmt.Errorf("load-queue count %d, but %d loads in the ROB", c.lqCount, loads)
+	}
+	if stores != c.sqCount {
+		return fmt.Errorf("store-queue count %d, but %d stores in the ROB", c.sqCount, stores)
+	}
+	if unissued != c.rsCount {
+		return fmt.Errorf("reservation-station count %d, but %d renamed-unissued uops in the ROB", c.rsCount, unissued)
+	}
+	// Free-list conservation: every physical register is in the free list,
+	// named by the RAT, or held as some in-flight instruction's previous
+	// mapping. The counts must add up every cycle (checkDeep verifies the
+	// partition is exact, not just numerically balanced).
+	if got := len(c.ren.free) + isa.NumArchRegs + polds; got != c.cfg.NumPhysRegs {
+		return fmt.Errorf("free-list conservation broken: %d free + %d mapped + %d held as POld = %d, want %d phys regs",
+			len(c.ren.free), isa.NumArchRegs, polds, got, c.cfg.NumPhysRegs)
+	}
+	if len(c.storeBuf) > c.cfg.StoreBufSize {
+		return fmt.Errorf("store buffer holds %d entries, capacity %d", len(c.storeBuf), c.cfg.StoreBufSize)
+	}
+	return nil
+}
+
+// checkDeep holds the full-scan checks.
+func (c *Core) checkDeep() error {
+	if err := c.checkPhysRegPartition(); err != nil {
+		return err
+	}
+	return c.racache.checkIntegrity()
+}
+
+// checkPhysRegPartition verifies that {RAT mappings} ∪ {free list} ∪
+// {in-flight POld} is an exact partition of the physical register file: every
+// register in exactly one place. Double-frees, double-mappings, and leaks all
+// surface here with the offending register named.
+func (c *Core) checkPhysRegPartition() error {
+	owner := make([]string, c.cfg.NumPhysRegs)
+	claim := func(p PhysReg, who string) error {
+		if int(p) < 0 || int(p) >= c.cfg.NumPhysRegs {
+			return fmt.Errorf("phys reg %d out of range (%s)", p, who)
+		}
+		if prev := owner[p]; prev != "" {
+			return fmt.Errorf("phys reg %d claimed by both %s and %s", p, prev, who)
+		}
+		owner[p] = who
+		return nil
+	}
+	for a, p := range c.ren.rat {
+		if err := claim(p, fmt.Sprintf("rat[r%d]", a)); err != nil {
+			return err
+		}
+	}
+	for _, p := range c.ren.free {
+		if err := claim(p, "the free list"); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < c.rob.size(); i++ {
+		d := c.rob.at(i)
+		if d.POld == noPhys {
+			continue
+		}
+		if err := claim(d.POld, fmt.Sprintf("POld of seq %d", d.Seq)); err != nil {
+			return err
+		}
+	}
+	for p, who := range owner {
+		if who == "" {
+			return fmt.Errorf("phys reg %d leaked: not free, not mapped, not held as POld", p)
+		}
+	}
+	return nil
+}
+
+// checkIntegrity verifies the runahead cache's LRU stacks the same way
+// cache.CheckIntegrity does for the main arrays.
+func (c *raCache) checkIntegrity() error {
+	for si, set := range c.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if set[i].lastUse > c.stamp {
+				return fmt.Errorf("runahead cache: set %d way %d stamp %d exceeds global stamp %d",
+					si, i, set[i].lastUse, c.stamp)
+			}
+			for j := i + 1; j < len(set); j++ {
+				if !set[j].valid {
+					continue
+				}
+				if set[i].tag == set[j].tag {
+					return fmt.Errorf("runahead cache: set %d holds tag %#x in ways %d and %d", si, set[i].tag, i, j)
+				}
+				if set[i].lastUse == set[j].lastUse {
+					return fmt.Errorf("runahead cache: set %d ways %d and %d share LRU stamp %d", si, i, j, set[i].lastUse)
+				}
+			}
+		}
+	}
+	return nil
+}

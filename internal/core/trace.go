@@ -81,10 +81,13 @@ func (t *Tracer) on(now int64) bool {
 }
 
 // emit fills the tracer's reusable event with the common header and hands it
-// to the sink. Callers must have checked c.tracer != nil.
+// to the sink. It is nil-safe: with no tracer attached (or past the cycle
+// limit) it returns before touching the sink, so call sites need no guard of
+// their own — though the hot-path helpers below keep one to skip building
+// the Event value entirely.
 func (c *Core) emit(ev trace.Event) {
 	t := c.tracer
-	if !t.on(c.now) {
+	if t == nil || !t.on(c.now) {
 		return
 	}
 	ev.Cycle = c.now
@@ -147,5 +150,7 @@ func (c *Core) traceRunaheadExit(misses uint64) {
 // traceSample emits the periodic occupancy snapshot feeding counter tracks.
 // Called from Cycle every sampleInterval cycles while a tracer is attached.
 func (c *Core) traceSample() {
-	c.emit(trace.Event{Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
+	if c.tracer != nil {
+		c.emit(trace.Event{Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
+	}
 }

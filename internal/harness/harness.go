@@ -10,6 +10,7 @@ import (
 
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/energy"
+	"runaheadsim/internal/simcheck"
 	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
@@ -112,6 +113,12 @@ type Options struct {
 	// bounds the retained ring (0 = 4096).
 	TimelineInterval int64
 	TimelineSamples  int
+
+	// Check attaches the simcheck sanitizer (lockstep architectural oracle
+	// plus per-cycle structural invariants) to every run; a violation
+	// panics with full context. Binaries built with the simcheck build tag
+	// force this on for all runs.
+	Check bool
 }
 
 // DefaultOptions is the sweep default.
@@ -179,7 +186,12 @@ func (r *Runner) Result(bench string, rc RunConfig) *Result {
 		cfg.Mem.PrefetchKind = rc.PFKind
 	}
 
-	c := core.New(cfg, workload.MustLoad(bench))
+	p := workload.MustLoad(bench)
+	c := core.New(cfg, p)
+	var chk *simcheck.Checker
+	if r.opts.Check || simcheck.TagEnabled {
+		chk = simcheck.Attach(c, p, simcheck.Options{})
+	}
 	c.Run(r.opts.warmup(spec.Class))
 	c.ResetStats()
 	var tl *stats.Timeline
@@ -192,6 +204,9 @@ func (r *Runner) Result(bench string, rc RunConfig) *Result {
 		c.SetTimeline(tl)
 	}
 	st := c.Run(r.opts.MeasureUops)
+	if chk != nil {
+		chk.Finish()
+	}
 
 	res := &Result{
 		Bench:        bench,

@@ -1,0 +1,61 @@
+package memsys
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/cache"
+)
+
+// CheckInvariants verifies the hierarchy's structural invariants. The cheap
+// MSHR conservation checks always run; deep adds the full-array scans (LRU
+// stack integrity and inclusive-LLC containment), which the sanitizer runs
+// on a coarser interval. It returns the first violation found.
+func (h *Hierarchy) CheckInvariants(deep bool) error {
+	files := []struct {
+		name string
+		f    *cache.MSHRFile
+	}{
+		{"L1I", h.l1iMSHR},
+		{"L1D", h.l1dMSHR},
+		{"LLC", h.llcMSHR},
+	}
+	for _, mf := range files {
+		if err := mf.f.CheckConservation(); err != nil {
+			return fmt.Errorf("%s MSHRs: %w", mf.name, err)
+		}
+	}
+	if !deep {
+		return nil
+	}
+	for _, c := range []*cache.Cache{h.l1i, h.l1d, h.llc} {
+		if err := c.CheckIntegrity(); err != nil {
+			return err
+		}
+	}
+	return h.checkInclusion()
+}
+
+// checkInclusion verifies the inclusive-LLC property: every valid L1 line is
+// either present in the LLC or has its fill still in flight in the LLC MSHRs
+// (an L1 fill is scheduled LLCLatency cycles after the LLC lookup, so the
+// line is legitimately L1-bound before it lands).
+func (h *Hierarchy) checkInclusion() error {
+	var violation error
+	check := func(l1name string, l1 *cache.Cache) {
+		l1.ForEachValid(func(line uint64) {
+			if violation != nil {
+				return
+			}
+			if h.llc.Probe(line) {
+				return
+			}
+			if _, ok := h.llcMSHR.Lookup(line); ok {
+				return
+			}
+			violation = fmt.Errorf("inclusion broken: %s holds line %#x absent from the LLC and its MSHRs", l1name, line)
+		})
+	}
+	check("L1D", h.l1d)
+	check("L1I", h.l1i)
+	return violation
+}

@@ -9,6 +9,8 @@
 // state the interpreter produces.
 package prog
 
+import "sort"
+
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
@@ -90,12 +92,24 @@ func (m *Memory) Write64(addr uint64, val int64) {
 	}
 }
 
+// pageNums returns the mapped page numbers in ascending order, so every
+// traversal of the image is deterministic regardless of map layout.
+func (m *Memory) pageNums() []uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	//simlint:allow determinism -- keys are sorted before use
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
 // Clone returns a deep copy of the memory image.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for pn, p := range m.pages {
+	for _, pn := range m.pageNums() {
 		cp := new([pageSize]byte)
-		*cp = *p
+		*cp = *m.pages[pn]
 		c.pages[pn] = cp
 	}
 	return c
@@ -111,7 +125,8 @@ func (m *Memory) Equal(o *Memory) bool {
 }
 
 func (m *Memory) subsetOf(o *Memory) bool {
-	for pn, p := range m.pages {
+	for _, pn := range m.pageNums() {
+		p := m.pages[pn]
 		q := o.pages[pn]
 		if q == nil {
 			if *p != ([pageSize]byte{}) {
@@ -127,29 +142,30 @@ func (m *Memory) subsetOf(o *Memory) bool {
 }
 
 // FirstDiff returns the lowest address at which the two images differ, for
-// test diagnostics. ok is false when the images are equal.
+// test diagnostics. ok is false when the images are equal. Pages are walked
+// in ascending order, so the reported address is deterministic.
 func (m *Memory) FirstDiff(o *Memory) (addr uint64, ok bool) {
-	best := uint64(0)
-	found := false
-	consider := func(a *Memory, b *Memory) {
-		for pn, p := range a.pages {
-			q := b.pages[pn]
-			for i := 0; i < pageSize; i++ {
-				var qb byte
-				if q != nil {
-					qb = q[i]
-				}
-				if p[i] != qb {
-					d := pn<<pageShift | uint64(i)
-					if !found || d < best {
-						best, found = d, true
-					}
-					break
-				}
+	pns := append(m.pageNums(), o.pageNums()...)
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var zero [pageSize]byte
+	prev := ^uint64(0)
+	for _, pn := range pns {
+		if pn == prev {
+			continue // page mapped in both images, already compared
+		}
+		prev = pn
+		p, q := m.pages[pn], o.pages[pn]
+		if p == nil {
+			p = &zero
+		}
+		if q == nil {
+			q = &zero
+		}
+		for i := 0; i < pageSize; i++ {
+			if p[i] != q[i] {
+				return pn<<pageShift | uint64(i), true
 			}
 		}
 	}
-	consider(m, o)
-	consider(o, m)
-	return best, found
+	return 0, false
 }

@@ -1,0 +1,38 @@
+package simcheck
+
+import "runaheadsim/internal/core"
+
+// FNV-1a, 64-bit. Hand-rolled (rather than hash/fnv) so the digest is a
+// plain uint64 folded as values arrive, with no allocation on the commit
+// path.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit value into the digest, low byte first.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// hashBytes is FNV-1a over a byte string.
+func hashBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// StatsDigest fingerprints a run's full counter set. It hashes the sorted
+// text rendering of every counter (the same stable format the -stats dump
+// uses), so two same-seed runs must produce byte-identical statistics to
+// digest equal.
+func StatsDigest(st *core.Stats) uint64 {
+	return hashBytes(fnvOffset, st.Counters().String())
+}

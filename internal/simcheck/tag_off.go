@@ -1,0 +1,7 @@
+//go:build !simcheck
+
+package simcheck
+
+// TagEnabled reports whether the binary was built with the simcheck build
+// tag, which forces the sanitizer on for every harness run (`make check`).
+const TagEnabled = false

@@ -1,0 +1,125 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags constructs that make simulation results depend on
+// something other than the configuration and the seed: map iteration order
+// (randomized per process), wall-clock time, the shared global math/rand
+// source, and floating-point accumulation inside the timing model (integral
+// counters stay bit-exact; float sums invite order sensitivity under
+// refactoring).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-order, wall-clock, global-rand and float-accumulation dependence",
+	Run:  runDeterminism,
+}
+
+// simPackages are the timing-model packages where the strictest rules apply
+// (float accumulation). The time.Now / global-rand rules apply to every
+// internal package; range-over-map applies everywhere.
+var simPackages = []string{
+	"internal/core",
+	"internal/cache",
+	"internal/memsys",
+	"internal/dram",
+	"internal/bpred",
+	"internal/prefetch",
+	"internal/prog",
+	"internal/isa",
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func isSimPackage(path string) bool {
+	for _, s := range simPackages {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInternalPackage(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}
+
+// randConstructors are the math/rand package-level functions that build an
+// injectable source rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runDeterminism(pass *Pass) {
+	simPkg := isSimPackage(pass.Path)
+	internal := isInternalPackage(pass.Path)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "range over %s: map iteration order is nondeterministic; traverse sorted keys instead (or //simlint:allow determinism with a justification if order cannot matter)", t)
+					}
+				}
+			case *ast.CallExpr:
+				if !internal {
+					return true
+				}
+				fn := calleeFunc(pass, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				pkgLevel := sig != nil && sig.Recv() == nil
+				switch path := fn.Pkg().Path(); {
+				case path == "time" && fn.Name() == "Now" && pkgLevel:
+					pass.Reportf(n.Pos(), "time.Now in simulation code: derive times from the simulated clock so runs are reproducible")
+				case (path == "math/rand" || path == "math/rand/v2") && pkgLevel && !randConstructors[fn.Name()]:
+					pass.Reportf(n.Pos(), "%s.%s uses the shared global source: inject a seeded *rand.Rand instead", path, fn.Name())
+				}
+			case *ast.AssignStmt:
+				if !simPkg {
+					return true
+				}
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					for _, lhs := range n.Lhs {
+						if isFloat(pass.Info.TypeOf(lhs)) {
+							pass.Reportf(n.Pos(), "floating-point accumulation in a simulation package: keep model counters integral (accumulate in int64/uint64, convert at reporting time)")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,78 @@
+package simlint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/core": {"core.go": `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+type C struct {
+	m map[int]int
+	f float64
+}
+
+func (c *C) bad() int {
+	s := 0
+	for k := range c.m {
+		s += k
+	}
+	c.f += 1.5
+	_ = time.Now()
+	return s + rand.Intn(4)
+}
+
+func (c *C) good(r *rand.Rand) int {
+	r2 := rand.New(rand.NewSource(1))
+	//simlint:allow determinism -- suppression under test
+	for k := range c.m {
+		_ = k
+	}
+	return r.Intn(4) + r2.Intn(4)
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", Determinism)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{15, "map iteration order"},
+		{18, "floating-point accumulation"},
+		{19, "time.Now"},
+		{20, "global source"},
+	})
+}
+
+// TestDeterminismOutsideSimPackages checks scoping: float accumulation is
+// only policed in timing-model packages, and the rand/time rules only in
+// internal ones; range-over-map is flagged everywhere.
+func TestDeterminismOutsideSimPackages(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/cmd/tool": {"main.go": `package main
+
+import "time"
+
+var f float64
+
+func main() {
+	f += 1.5
+	_ = time.Now()
+	for k := range map[int]int{} {
+		_ = k
+	}
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/cmd/tool", Determinism)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{10, "map iteration order"},
+	})
+}

@@ -1,0 +1,296 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages using only the standard library: module
+// packages are resolved against the repository root and parsed from source;
+// everything else (the standard library) is delegated to go/importer's
+// source importer, which reads GOROOT. Imported packages are checked with
+// IgnoreFuncBodies for speed; target packages get full bodies and a filled
+// types.Info for the analyzers.
+
+// Package is one fully type-checked analysis target.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allow maps file -> line -> analyzer names suppressed by a
+	// //simlint:allow comment on that line.
+	allow map[string]map[int][]string
+}
+
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root directory ("" for pure fixtures)
+	modPath string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+	// overlay holds in-memory fixture packages: import path -> file name ->
+	// source. Paths under the fixture module resolve here before the disk.
+	overlay map[string]map[string]string
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer for the packages the targets depend on.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if _, local := l.overlay[path]; !local {
+		if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+			return l.std.Import(path)
+		}
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	tpkg, _, err := l.check(path, false)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = tpkg
+	return tpkg, nil
+}
+
+// check parses and type-checks one module-local (or overlay) package. With
+// bodies set, function bodies are checked and a Package with filled
+// types.Info is returned; without, bodies are skipped (dependency mode).
+func (l *loader) check(path string, bodies bool) (*types.Package, *Package, error) {
+	var files []*ast.File
+	if src, ok := l.overlay[path]; ok {
+		names := make([]string, 0, len(src))
+		//simlint:allow determinism -- file names are sorted before parsing
+		for name := range src {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, path+"/"+name, src[name], parser.ParseComments)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, f)
+		}
+	} else {
+		dir, err := l.dirOf(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, f)
+		}
+	}
+	var info *types.Info
+	if bodies {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{Importer: l, IgnoreFuncBodies: !bodies, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	if !bodies {
+		return tpkg, nil, nil
+	}
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	pkg.collectAllows()
+	return tpkg, pkg, nil
+}
+
+func (l *loader) dirOf(path string) (string, error) {
+	if path == l.modPath {
+		return l.root, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), nil
+	}
+	return "", fmt.Errorf("package %q is outside module %q", path, l.modPath)
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// Load type-checks the packages selected by go-style patterns ("./...",
+// "./internal/...", "./cmd/simlint") relative to the module root. Test files
+// are excluded: the analyzers police simulation code, and tests legitimately
+// use fixed-seed math/rand and float comparisons.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		tpkg, pkg, err := l.check(path, true)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := l.pkgs[path]; !ok {
+			l.pkgs[path] = tpkg
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckFixture type-checks an in-memory module (import path -> file name ->
+// source) and returns the target package, fully checked. Analyzer tests use
+// it to run diagnostics over small synthetic ASTs.
+func CheckFixture(pkgs map[string]map[string]string, target string) (*Package, error) {
+	l := newLoader("", "fix")
+	l.overlay = pkgs
+	_, pkg, err := l.check(target, true)
+	return pkg, err
+}
+
+// expandPatterns resolves go-style package patterns to package directories
+// (directories containing at least one non-test .go file), in sorted order.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = strings.TrimSuffix(base, "/")
+			if base == "" {
+				base = "."
+			}
+			start := filepath.Join(root, filepath.FromSlash(base))
+			err := filepath.WalkDir(start, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			add(filepath.Join(root, filepath.FromSlash(pat)))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a buildable non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+// Package simlint is the repository's static-analysis pass: repo-specific
+// analyzers built on go/ast and go/types only (no external dependencies),
+// enforcing the properties the simulator's results depend on.
+//
+// Analyzers:
+//
+//   - determinism: flags range over map types anywhere (iteration order is
+//     randomized per run), and — in simulation packages — time.Now, the
+//     global math/rand source, and floating-point accumulation, all of
+//     which break run-to-run reproducibility or bit-exactness.
+//   - statshygiene: statistics objects (stats.Histogram, stats.Set,
+//     stats.Timeline) must be created through their registering
+//     constructors, never bare struct literals or new() — constructors
+//     validate geometry and establish the sorted-name registry the stable
+//     stats dump relies on.
+//   - tracehygiene: every trace-event emission site must sit behind the
+//     nil-tracer guard established by the observability layer, so disabled
+//     tracing costs nothing on the hot path.
+//
+// A finding can be suppressed with a comment on the same or preceding line:
+//
+//	//simlint:allow determinism -- keys are sorted before use
+//
+// Test files are not analyzed: the analyzers police simulation code, and
+// tests legitimately use fixed-seed math/rand and wall-clock timeouts.
+package simlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All lists every analyzer, in reporting order.
+var All = []*Analyzer{Determinism, StatsHygiene, TraceHygiene}
+
+// Pass carries one (package, analyzer) run; analyzers report through it.
+type Pass struct {
+	*Package
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //simlint:allow comment
+// suppresses this analyzer there.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether an allow comment for this pass's analyzer sits
+// on the finding's line or the line above it.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows indexes every //simlint:allow comment in the package by file
+// and line. The comment names one or more analyzers (comma-separated) and
+// may carry a justification after "--".
+func (pkg *Package) collectAllows() {
+	pkg.allow = make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//simlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := pkg.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					pkg.allow[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+				}
+			}
+		}
+	}
+}
+
+// Run executes the analyzers over the packages and returns the findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Package: pkg, analyzer: a.Name, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

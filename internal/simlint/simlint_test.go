@@ -1,0 +1,69 @@
+package simlint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks an in-memory module and runs one analyzer over the
+// target package, returning the diagnostics.
+func runFixture(t *testing.T, pkgs map[string]map[string]string, target string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, err := CheckFixture(pkgs, target)
+	if err != nil {
+		t.Fatalf("CheckFixture: %v", err)
+	}
+	return Run([]*Package{pkg}, []*Analyzer{a})
+}
+
+// wantDiags asserts that the diagnostics hit exactly the expected lines (in
+// the target package's single file) with messages containing the given
+// fragments, in order.
+func wantDiags(t *testing.T, diags []Diagnostic, want []struct {
+	Line     int
+	Fragment string
+}) {
+	t.Helper()
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, d := range diags {
+		if d.Pos.Line != want[i].Line {
+			t.Errorf("diag %d at line %d, want line %d: %s", i, d.Pos.Line, want[i].Line, d)
+		}
+		if !strings.Contains(d.Message, want[i].Fragment) {
+			t.Errorf("diag %d message %q does not contain %q", i, d.Message, want[i].Fragment)
+		}
+	}
+}
+
+// TestRepoPassesClean runs every analyzer over the real repository — the
+// acceptance gate: the simulator's own code must carry no unsuppressed
+// findings.
+func TestRepoPassesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./internal/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	for _, d := range Run(pkgs, All) {
+		t.Errorf("%s", d)
+	}
+}

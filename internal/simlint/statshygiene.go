@@ -1,0 +1,95 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsHygiene enforces constructor discipline for statistics objects: a
+// stats.Histogram built as a bare literal skips the geometry validation in
+// NewHistogram, and value declarations produce unregistered zero-value
+// instances whose methods misbehave. Every instance must come from the
+// registering constructor (stats.NewHistogram, stats.NewSet,
+// stats.NewTimeline). The stats package itself — where the constructors
+// live — is exempt.
+var StatsHygiene = &Analyzer{
+	Name: "statshygiene",
+	Doc:  "stats objects must be built with their registering constructors",
+	Run:  runStatsHygiene,
+}
+
+// statsTypes are the constructor-only types of the stats package.
+var statsTypes = map[string]string{
+	"Histogram": "stats.NewHistogram",
+	"Set":       "stats.NewSet",
+	"Counter":   "stats.NewCounter",
+	"Timeline":  "stats.NewTimeline",
+}
+
+func runStatsHygiene(pass *Pass) {
+	if pass.Types.Name() == "stats" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ctor, ok := statsType(pass.Info.TypeOf(n)); ok {
+					pass.Reportf(n.Pos(), "bare stats.%s literal: construct it with %s, which validates and registers the instance", name, ctor)
+				}
+			case *ast.CallExpr:
+				// new(stats.T)
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok || len(n.Args) != 1 {
+					return true
+				}
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin || id.Name != "new" {
+					return true
+				}
+				if name, ctor, ok := statsType(pass.Info.TypeOf(n.Args[0])); ok {
+					pass.Reportf(n.Pos(), "new(stats.%s) bypasses %s: the zero value is unvalidated and unregistered", name, ctor)
+				}
+			case *ast.ValueSpec:
+				// var h stats.T — a zero value by declaration.
+				if n.Type == nil {
+					return true
+				}
+				if name, ctor, ok := statsValueType(pass.Info.TypeOf(n.Type)); ok {
+					pass.Reportf(n.Pos(), "zero-value stats.%s declaration: declare a pointer and assign %s", name, ctor)
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if name, ctor, ok := statsValueType(pass.Info.TypeOf(field.Type)); ok {
+						pass.Reportf(field.Pos(), "embedded stats.%s value field: hold a pointer obtained from %s", name, ctor)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// statsType matches T or *T for a constructor-only stats type.
+func statsType(t types.Type) (name, ctor string, ok bool) {
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	return statsValueType(t)
+}
+
+// statsValueType matches only the value form T.
+func statsValueType(t types.Type) (name, ctor string, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "stats" {
+		return "", "", false
+	}
+	ctor, ok = statsTypes[obj.Name()]
+	return obj.Name(), ctor, ok
+}

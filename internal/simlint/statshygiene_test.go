@@ -1,0 +1,60 @@
+package simlint
+
+import "testing"
+
+func TestStatsHygiene(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/stats": {"stats.go": `package stats
+
+type Histogram struct{ Buckets []uint64 }
+type Counter struct{ N int64 }
+
+func NewHistogram() *Histogram { return &Histogram{} }
+func NewCounter() *Counter     { return &Counter{} }
+`},
+		"fix/internal/core": {"core.go": `package core
+
+import "fix/internal/stats"
+
+type M struct {
+	H stats.Histogram
+	P *stats.Histogram
+}
+
+var bare = stats.Histogram{}
+var boxed = new(stats.Counter)
+var zero stats.Counter
+var good = stats.NewHistogram()
+
+//simlint:allow statshygiene -- suppression under test
+var suppressed = stats.Histogram{}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", StatsHygiene)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{6, "value field"},
+		{10, "bare stats.Histogram literal"},
+		{11, "new(stats.Counter)"},
+		{12, "zero-value stats.Counter"},
+	})
+}
+
+// TestStatsHygieneExemptsStatsPackage checks the constructors' own package
+// may build literals.
+func TestStatsHygieneExemptsStatsPackage(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/stats": {"stats.go": `package stats
+
+type Counter struct{ N int64 }
+
+func NewCounter() *Counter { return &Counter{} }
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/stats", StatsHygiene)
+	if len(diags) != 0 {
+		t.Fatalf("stats package should be exempt, got %v", diags)
+	}
+}

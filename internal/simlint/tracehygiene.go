@@ -1,0 +1,179 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TraceHygiene enforces the zero-cost-when-off contract of the trace layer:
+// every event-emission call site must be dominated by a nil check on the
+// tracer/sink, either an enclosing `if <tracer> != nil { ... }` or a
+// preceding `if <tracer> == nil { return }` early-out in the same function.
+// Emission sites are calls to Emit on a sink/tracer-typed value (or a field
+// named sink/tracer), and calls to an unexported emit method on a type
+// carrying a tracer field. The trace package itself — the sink
+// implementations — is exempt.
+var TraceHygiene = &Analyzer{
+	Name: "tracehygiene",
+	Doc:  "trace emissions must be guarded by the nil-tracer check",
+	Run:  runTraceHygiene,
+}
+
+func runTraceHygiene(pass *Pass) {
+	if hasPathSuffix(pass.Path, "internal/trace") {
+		return
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isEmissionSite(pass, call) {
+				return true
+			}
+			if !guardedByNilCheck(pass, stack) {
+				pass.Reportf(call.Pos(), "unguarded trace emission: wrap the call in `if <tracer> != nil { ... }` (or early-return when nil) so disabled tracing stays off the hot path")
+			}
+			return true
+		})
+	}
+}
+
+// isEmissionSite recognizes the two emission forms: X.Emit(...) where X is
+// tracer-ish, and X.emit(...) where X's type carries a tracer field (the
+// core's internal wrapper).
+func isEmissionSite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Emit":
+		return isTracerishExpr(pass, sel.X)
+	case "emit":
+		return hasTracerField(pass.Info.TypeOf(sel.X))
+	}
+	return false
+}
+
+// isTracerishExpr reports whether expr denotes the tracing machinery: a
+// selector of a field named sink/tracer, or any expression whose type is
+// tracer-ish.
+func isTracerishExpr(pass *Pass, expr ast.Expr) bool {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if name := sel.Sel.Name; name == "sink" || name == "tracer" || name == "Sink" || name == "Tracer" {
+			return true
+		}
+	}
+	return isTracerishType(pass.Info.TypeOf(expr))
+}
+
+// isTracerishType matches *Tracer / Tracer and any named type ending in
+// "Sink" (the trace.Sink interface and its implementations).
+func isTracerishType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Tracer" || strings.HasSuffix(name, "Sink")
+}
+
+// hasTracerField reports whether t (or its pointee) is a struct with a
+// tracer-ish field — the shape of the core, whose emit wrapper must itself
+// be called under guard.
+func hasTracerField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if (f.Name() == "tracer" || f.Name() == "sink") && isTracerishType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByNilCheck reports whether the innermost emission (stack's last
+// node) is dominated by a tracer nil check: an ancestor if whose condition
+// establishes non-nilness and whose then-branch contains the call, or an
+// earlier statement in an enclosing block of the form
+// `if <tracer> == nil { ...return }`.
+func guardedByNilCheck(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if ifs, ok := stack[i].(*ast.IfStmt); ok &&
+			i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Body) &&
+			condHasNilCompare(pass, ifs.Cond, token.NEQ) {
+			return true
+		}
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok || i+1 >= len(stack) {
+			continue
+		}
+		inner := stack[i+1]
+		for _, s := range blk.List {
+			if ast.Node(s) == inner {
+				break
+			}
+			if ifs, ok := s.(*ast.IfStmt); ok &&
+				condHasNilCompare(pass, ifs.Cond, token.EQL) &&
+				endsInReturn(ifs.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condHasNilCompare walks cond looking for `<tracer-ish> <op> nil`.
+func condHasNilCompare(pass *Pass, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		x, y := be.X, be.Y
+		if isNilIdent(y) && isTracerishExpr(pass, x) {
+			found = true
+		}
+		if isNilIdent(x) && isTracerishExpr(pass, y) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func endsInReturn(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}

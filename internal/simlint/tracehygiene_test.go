@@ -1,0 +1,82 @@
+package simlint
+
+import "testing"
+
+func TestTraceHygiene(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/trace": {"trace.go": `package trace
+
+type Event struct{ Name string }
+
+type Sink interface {
+	Emit(*Event)
+}
+`},
+		"fix/internal/core": {"core.go": `package core
+
+import "fix/internal/trace"
+
+type Core struct {
+	tracer trace.Sink
+}
+
+// emit is guarded by an early return: legal.
+func (c *Core) emit(ev *trace.Event) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Emit(ev)
+}
+
+func (c *Core) bad(ev *trace.Event) {
+	c.tracer.Emit(ev)
+	c.emit(ev)
+}
+
+func (c *Core) good(ev *trace.Event) {
+	if c.tracer != nil {
+		c.emit(ev)
+		c.tracer.Emit(ev)
+	}
+	if tr := c.tracer; tr != nil {
+		tr.Emit(ev)
+	}
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", TraceHygiene)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{18, "unguarded trace emission"},
+		{19, "unguarded trace emission"},
+	})
+}
+
+// TestTraceHygieneExemptsTracePackage checks the sink implementations may
+// emit freely (MultiSink fan-out has no tracer to nil-check).
+func TestTraceHygieneExemptsTracePackage(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/trace": {"trace.go": `package trace
+
+type Event struct{ Name string }
+
+type Sink interface {
+	Emit(*Event)
+}
+
+type MultiSink []Sink
+
+func (m MultiSink) Emit(ev *Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/trace", TraceHygiene)
+	if len(diags) != 0 {
+		t.Fatalf("trace package should be exempt, got %v", diags)
+	}
+}

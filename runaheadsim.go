@@ -99,6 +99,12 @@ type Config struct {
 	// TimelineSamples bounds the retained timeline ring (0 = 4096). When the
 	// run outlives the ring the oldest samples are evicted.
 	TimelineSamples int
+	// Check attaches the simcheck runtime sanitizer: a lockstep oracle
+	// validating every commit against the functional interpreter, plus
+	// per-cycle structural invariants. A violation panics with the
+	// offending uop, cycle, and CPI-stack context. See DESIGN.md
+	// "Correctness tooling".
+	Check bool
 }
 
 // Result summarizes a simulation.
@@ -175,6 +181,7 @@ func Run(cfg Config) (Result, error) {
 		WarmupUops:       cfg.WarmupUops,
 		TimelineInterval: cfg.TimelineInterval,
 		TimelineSamples:  cfg.TimelineSamples,
+		Check:            cfg.Check,
 	})
 	rc := harness.RunConfig{Mode: cm, Enhancements: cfg.Enhancements, Prefetch: cfg.Prefetcher, DepTrack: cfg.DepTrack}
 	res := r.Result(cfg.Benchmark, rc)
