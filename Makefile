@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench sweep report examples clean
+.PHONY: test vet lint check bench bench-go sweep report examples clean
 
 test:
 	go test ./...
@@ -21,8 +21,17 @@ lint:
 check:
 	go test -tags simcheck ./...
 
-# One scaled-down benchmark per paper table/figure, plus ablations.
+# Benchmark the sweep itself: time a sampled parallel sweep against the
+# sequential full-detail reference and write wall-clock, sim-cycles/sec,
+# speedup, and sampling error to BENCH_sweep.json.
 bench:
+	go run ./cmd/runahead-sweep -experiments figure9 \
+		-benchmarks mcf,libquantum,lbm,milc -uops 1000000 \
+		-sample -intervals 4 -sample-window 40000 -sample-warmup 20000 \
+		-j 8 -q -bench-out BENCH_sweep.json -out /dev/null
+
+# One scaled-down benchmark per paper table/figure, plus ablations.
+bench-go:
 	go test -bench . -benchtime 1x .
 
 # Regenerate every table and figure at full fidelity (~10 minutes).
@@ -40,4 +49,4 @@ examples:
 	go run ./examples/energy_tradeoff
 
 clean:
-	rm -f sweep_results.txt test_output.txt bench_output.txt
+	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json

@@ -1,0 +1,133 @@
+package main
+
+// Checkpoint/restore entry points: -checkpoint-out runs a benchmark, drains
+// the machine to quiescence, and serializes it; -restore rebuilds the
+// machine from those bytes and keeps simulating. The printed stats digest
+// lets a shell script verify restore fidelity against an uninterrupted run.
+
+import (
+	"fmt"
+	"os"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/simcheck"
+	"runaheadsim/internal/workload"
+)
+
+// buildConfig translates the CLI mode flags into a core configuration.
+func buildConfig(mode string, pf, enh bool, pfKind string) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	switch mode {
+	case "baseline":
+	case "runahead":
+		cfg.Mode = core.ModeTraditional
+	case "runahead-buffer":
+		cfg.Mode = core.ModeBuffer
+	case "runahead-buffer+cc":
+		cfg.Mode = core.ModeBufferCC
+	case "hybrid":
+		cfg.Mode = core.ModeHybrid
+	default:
+		return cfg, fmt.Errorf("unknown mode %q", mode)
+	}
+	cfg.Enhancements = enh
+	cfg.Mem.EnablePrefetch = pf
+	cfg.Mem.PrefetchKind = pfKind
+	return cfg, nil
+}
+
+// autoWarmup mirrors the harness default: small-footprint benchmarks need
+// their arrays wrapped before steady state emerges.
+func autoWarmup(bench string, warmup uint64) uint64 {
+	if warmup > 0 {
+		return warmup
+	}
+	if spec, ok := workload.SpecOf(bench); ok && spec.Class == workload.Low {
+		return 500_000
+	}
+	return 100_000
+}
+
+// checkpointRun simulates warmup+uops micro-ops, drains, and writes the
+// snapshot. Returns a process exit code.
+func checkpointRun(bench, mode string, pf, enh bool, pfKind string, uops, warmup uint64, outFile string, check bool) int {
+	cfg, err := buildConfig(mode, pf, enh, pfKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	p, err := workload.Load(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	c := core.New(cfg, p)
+	var chk *simcheck.Checker
+	if check {
+		chk = simcheck.Attach(c, p, simcheck.Options{})
+	}
+	w := autoWarmup(bench, warmup)
+	st := c.Run(w + uops)
+	if err := c.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if chk != nil {
+		chk.Finish()
+	}
+	data, err := c.Snapshot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("checkpoint          %s (%d bytes)\n", outFile, len(data))
+	fmt.Printf("benchmark           %s, mode %s\n", bench, mode)
+	fmt.Printf("committed uops      %d in %d cycles (drained)\n", st.Committed, c.Now())
+	fmt.Printf("resume pc           %#x\n", c.FetchPC())
+	fmt.Printf("stats digest        %#x\n", simcheck.StatsDigest(c.Stats()))
+	return 0
+}
+
+// restoreRun rebuilds a machine from a snapshot and simulates uops more
+// micro-ops from the restore point with fresh statistics.
+func restoreRun(file, bench, mode string, pf, enh bool, pfKind string, uops uint64, check bool) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfg, err := buildConfig(mode, pf, enh, pfKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	p, err := workload.Load(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	c, err := core.RestoreCore(data, cfg, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("restored            %s at cycle %d, pc %#x\n", file, c.Now(), c.FetchPC())
+	var chk *simcheck.Checker
+	if check {
+		chk = simcheck.AttachResumed(c, p, simcheck.Options{})
+	}
+	c.ResetStats()
+	st := c.Run(uops)
+	if chk != nil {
+		chk.Finish()
+	}
+	fmt.Printf("benchmark           %s, mode %s\n", bench, mode)
+	fmt.Printf("committed uops      %d in %d cycles\n", st.Committed, st.Cycles)
+	fmt.Printf("IPC                 %.3f\n", st.IPC())
+	fmt.Printf("stats digest        %#x\n", simcheck.StatsDigest(st))
+	return 0
+}

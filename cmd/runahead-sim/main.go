@@ -41,6 +41,8 @@ func main() {
 		tlOut  = flag.String("timeline-out", "", "write the timeline to this file (default stdout)")
 		tlFmt  = flag.String("timeline-format", "csv", "timeline format: csv | json")
 		check  = flag.Bool("check", simcheck.TagEnabled, "run the simcheck sanitizer (lockstep oracle + structural invariants)")
+		ckOut  = flag.String("checkpoint-out", "", "simulate warmup+uops, drain, and write a machine snapshot to this file")
+		restr  = flag.String("restore", "", "restore a machine snapshot (same -bench/-mode flags) and simulate -uops more micro-ops")
 		list   = flag.Bool("list", false, "list benchmarks and exit")
 		all    = flag.Bool("all-modes", false, "run every runahead mode on the benchmark and print a comparison")
 		pipe   = flag.Bool("pipeline", false, "print the Figure 6 pipeline diagram and exit")
@@ -74,6 +76,13 @@ func main() {
 		}
 		fmt.Print(prog.Disasm(p))
 		return
+	}
+
+	if *ckOut != "" {
+		os.Exit(checkpointRun(*bench, *mode, *pf, *enh, *pfkind, *uops, *warmup, *ckOut, *check))
+	}
+	if *restr != "" {
+		os.Exit(restoreRun(*restr, *bench, *mode, *pf, *enh, *pfkind, *uops, *check))
 	}
 
 	if *trace > 0 || *trFmt != "" || *trOut != "" {
@@ -170,24 +179,11 @@ func writeTimeline(tl *stats.Timeline, format, out string) error {
 
 // tracePipeline drops below the facade to attach a cycle-by-cycle tracer.
 func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string, check bool) {
-	cfg := core.DefaultConfig()
-	switch mode {
-	case "baseline":
-	case "runahead":
-		cfg.Mode = core.ModeTraditional
-	case "runahead-buffer":
-		cfg.Mode = core.ModeBuffer
-	case "runahead-buffer+cc":
-		cfg.Mode = core.ModeBufferCC
-	case "hybrid":
-		cfg.Mode = core.ModeHybrid
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
+	cfg, err := buildConfig(mode, pf, enh, pfKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg.Enhancements = enh
-	cfg.Mem.EnablePrefetch = pf
-	cfg.Mem.PrefetchKind = pfKind
 	p, err := workload.Load(bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,12 +1,18 @@
 // Command runahead-sweep regenerates the paper's tables and figures as text
 // tables. Simulation runs are shared across experiments, so regenerating
-// everything costs far less than the sum of its parts.
+// everything costs far less than the sum of its parts. The run set is planned
+// up front and simulated on a worker pool (-j); output is byte-identical to a
+// sequential sweep. With -sample, each full detailed run is replaced by
+// checkpointed sampled intervals (see DESIGN.md, "Checkpointing and sampled
+// simulation").
 //
 // Examples:
 //
 //	runahead-sweep                      # everything, default budget
 //	runahead-sweep -experiments figure9,figure17
 //	runahead-sweep -uops 300000 -out results.txt
+//	runahead-sweep -sample -j 8         # sampled intervals, 8 workers
+//	runahead-sweep -experiments figure9 -bench-out BENCH_sweep.json
 package main
 
 import (
@@ -15,58 +21,91 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"runaheadsim/internal/harness"
 )
 
 func main() {
-	var (
-		exps   = flag.String("experiments", "all", "comma-separated experiment ids, or \"all\"")
-		uops   = flag.Uint64("uops", 150_000, "measured micro-ops per run")
-		warmup = flag.Uint64("warmup", 0, "warmup micro-ops per run (0 = automatic)")
-		out    = flag.String("out", "", "write tables to this file instead of stdout")
-		asJSON = flag.Bool("json", false, "emit the tables as JSON instead of text")
-		quiet  = flag.Bool("q", false, "suppress progress output")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var w io.Writer = os.Stdout
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("runahead-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exps      = fs.String("experiments", "all", "comma-separated experiment ids, or \"all\"")
+		uops      = fs.Uint64("uops", 150_000, "measured micro-ops per run")
+		warmup    = fs.Uint64("warmup", 0, "warmup micro-ops per run (0 = automatic)")
+		benches   = fs.String("benchmarks", "", "comma-separated benchmark subset (empty = every figure's full set)")
+		out       = fs.String("out", "", "write tables to this file instead of stdout")
+		asJSON    = fs.Bool("json", false, "emit the tables as JSON instead of text")
+		quiet     = fs.Bool("q", false, "suppress progress output")
+		workers   = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		sample    = fs.Bool("sample", false, "replace full detailed runs with checkpointed sampled intervals")
+		intervals = fs.Int("intervals", 4, "detailed intervals per sampled run (with -sample)")
+		sWindow   = fs.Uint64("sample-window", 0, "measured uops per sampled interval (0 = the whole region, split)")
+		sWarmup   = fs.Uint64("sample-warmup", 0, "detailed warmup uops per sampled interval (0 = 50000)")
+		benchOut  = fs.String("bench-out", "", "benchmark the sweep (parallel/sampled vs sequential full-detail) and write the JSON report here")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 
 	opts := harness.Options{MeasureUops: *uops, WarmupUops: *warmup}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
 	if !*quiet {
 		opts.Progress = func(bench, config string) {
-			fmt.Fprintf(os.Stderr, "running %-12s %s\n", bench, config)
+			fmt.Fprintf(stderr, "running %-12s %s\n", bench, config)
 		}
 	}
-	runner := harness.NewRunner(opts)
+	if *sample {
+		// Interval-level workers stay at 1: the sweep already keeps -j
+		// runs in flight, which parallelizes without oversubscribing.
+		opts.Sample = &harness.SampleOptions{Intervals: *intervals, WindowUops: *sWindow, WarmupUops: *sWarmup, Workers: 1}
+	}
 
-	want := map[string]bool{}
-	if *exps != "all" {
-		for _, id := range strings.Split(*exps, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
+	selected, err := selectExperiments(*exps)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	known := map[string]bool{}
-	var tables []harness.Table
-	ran := 0
-	for _, e := range harness.Experiments() {
-		known[e.ID] = true
-		if len(want) > 0 && !want[e.ID] {
-			continue
+
+	runner := harness.NewRunner(opts)
+	plan := runner.Plan(func(r *harness.Runner) {
+		for _, e := range selected {
+			e.Build(r)
 		}
+	})
+
+	var report *benchReport
+	if *benchOut != "" {
+		report = benchmarkSweep(runner, opts, plan, *workers, stderr)
+	} else {
+		runner.Prewarm(plan, *workers)
+	}
+
+	// Every run is memoized by now, so this render is deterministic and
+	// byte-identical to a fully sequential sweep.
+	var tables []harness.Table
+	for _, e := range selected {
 		t := e.Build(runner)
-		ran++
 		if *asJSON {
 			tables = append(tables, t)
 		} else {
@@ -77,24 +116,132 @@ func main() {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tables); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
-	var unknown []string
-	//simlint:allow determinism -- collected ids are sorted before reporting
-	for id := range want {
-		if !known[id] {
+
+	if report != nil {
+		report.Experiments = *exps
+		report.Sampled = *sample
+		if *sample {
+			report.Intervals = *intervals
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "bench: %d runs, sequential %.1fs, parallel %.1fs (%.2fx), %.0f sim-cycles/s, max IPC err %.2f%%\n",
+			report.Runs, report.WallSequentialSec, report.WallParallelSec, report.Speedup,
+			report.SimCyclesPerSec, report.MaxIPCRelErrPct)
+	}
+	return 0
+}
+
+// selectExperiments resolves the -experiments flag against the registry.
+func selectExperiments(spec string) ([]harness.Experiment, error) {
+	all := harness.Experiments()
+	if spec == "all" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(spec, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	var selected []harness.Experiment
+	for _, e := range all {
+		if want[e.ID] {
+			selected = append(selected, e)
+			delete(want, e.ID)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		//simlint:allow determinism -- collected ids are sorted before reporting
+		for id := range want {
 			unknown = append(unknown, id)
 		}
-	}
-	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		fmt.Fprintf(os.Stderr, "unknown experiments: %s\n", strings.Join(unknown, ", "))
-		os.Exit(1)
+		return nil, fmt.Errorf("unknown experiments: %s", strings.Join(unknown, ", "))
 	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected")
-		os.Exit(1)
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
 	}
+	return selected, nil
+}
+
+// benchReport is the BENCH_sweep.json schema: the cost of the sweep under
+// the requested parallel (and possibly sampled) setup against the
+// sequential full-detail reference, plus the sampling accuracy.
+type benchReport struct {
+	Experiments string `json:"experiments"`
+	Runs        int    `json:"runs"`
+	Workers     int    `json:"workers"`
+	Sampled     bool   `json:"sampled"`
+	Intervals   int    `json:"intervals,omitempty"`
+
+	WallSequentialSec float64 `json:"wall_sequential_sec"`
+	WallParallelSec   float64 `json:"wall_parallel_sec"`
+	Speedup           float64 `json:"speedup"`
+
+	SimCycles       int64   `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+
+	// IPC of each pair under the benchmarked setup vs the sequential
+	// full-detail reference (nonzero only with -sample).
+	MaxIPCRelErrPct  float64 `json:"max_ipc_rel_err_pct"`
+	MeanIPCRelErrPct float64 `json:"mean_ipc_rel_err_pct"`
+}
+
+// benchmarkSweep times the planned run set twice: sequentially at full
+// detail (the reference), then on the requested worker pool with the
+// requested options — and compares per-run IPC between the two.
+func benchmarkSweep(runner *harness.Runner, opts harness.Options, plan []harness.PlannedRun, workers int, stderr io.Writer) *benchReport {
+	refOpts := opts
+	refOpts.Sample = nil
+	ref := harness.NewRunner(refOpts)
+	t0 := time.Now()
+	ref.Prewarm(plan, 1)
+	wallSeq := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	runner.Prewarm(plan, workers)
+	wallPar := time.Since(t0).Seconds()
+
+	r := &benchReport{
+		Runs:              len(plan),
+		Workers:           workers,
+		WallSequentialSec: wallSeq,
+		WallParallelSec:   wallPar,
+		Speedup:           wallSeq / wallPar,
+	}
+	var errSum float64
+	for _, pr := range plan {
+		res := runner.Result(pr.Bench, pr.Config)
+		refRes := ref.Result(pr.Bench, pr.Config)
+		r.SimCycles += res.Stats.Cycles
+		e := 100 * abs(res.IPC-refRes.IPC) / refRes.IPC
+		errSum += e
+		if e > r.MaxIPCRelErrPct {
+			r.MaxIPCRelErrPct = e
+		}
+	}
+	r.SimCyclesPerSec = float64(r.SimCycles) / wallPar
+	r.MeanIPCRelErrPct = errSum / float64(len(plan))
+	return r
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

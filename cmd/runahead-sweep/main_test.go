@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParallelSweepByteIdentical is the -j acceptance check: the same sweep
+// on one worker and on four must render identical bytes.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	base := []string{"-experiments", "figure9,figure12", "-benchmarks", "mcf,libquantum",
+		"-uops", "8000", "-warmup", "8000", "-q"}
+	var seq, par bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-j", "1"), &seq, io.Discard); code != 0 {
+		t.Fatalf("sequential sweep exited %d", code)
+	}
+	if code := run(append(append([]string{}, base...), "-j", "4"), &par, io.Discard); code != 0 {
+		t.Fatalf("parallel sweep exited %d", code)
+	}
+	if seq.Len() == 0 {
+		t.Fatal("sweep produced no output")
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("-j 4 output differs from -j 1:\n--- j1 ---\n%s\n--- j4 ---\n%s", seq.String(), par.String())
+	}
+}
+
+// TestSampledSweepRuns checks the -sample path end to end, with a bench
+// report carrying the measured speedup and sampling error.
+func TestSampledSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	benchFile := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{"-experiments", "figure12", "-benchmarks", "mcf",
+		"-uops", "60000", "-warmup", "30000", "-q",
+		"-sample", "-intervals", "4", "-j", "4", "-bench-out", benchFile}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("sampled sweep exited %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Runs == 0 || rep.WallParallelSec <= 0 || rep.WallSequentialSec <= 0 {
+		t.Fatalf("bench report missing timings: %+v", rep)
+	}
+	if !rep.Sampled || rep.Intervals != 4 {
+		t.Fatalf("bench report misdescribes the setup: %+v", rep)
+	}
+	if rep.SimCycles <= 0 || rep.SimCyclesPerSec <= 0 {
+		t.Fatalf("bench report missing throughput: %+v", rep)
+	}
+	if rep.MaxIPCRelErrPct > 25 {
+		t.Errorf("sampling error %.1f%% implausibly large: %+v", rep.MaxIPCRelErrPct, rep)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiments", "figure99"}, &out, &errb); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !bytes.Contains(errb.Bytes(), []byte("figure99")) {
+		t.Fatalf("error does not name the unknown experiment: %s", errb.String())
+	}
+}

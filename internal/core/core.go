@@ -82,6 +82,10 @@ type Core struct {
 	cycleCommits       int   // correct-path commits this cycle
 	branchRecoverUntil int64 // redirect+refill shadow of the last misprediction
 	raRecoverUntil     int64 // flush+refill shadow of the last runahead exit
+
+	// draining gates the fetch stage while Drain runs the machine to
+	// quiescence for a snapshot.
+	draining bool
 }
 
 type sbEntry struct {

@@ -12,6 +12,9 @@ const frontQCap = 32
 // path, at most one taken branch per cycle, stalling on I-cache misses. In
 // runahead-buffer mode the front end is clock-gated and does nothing.
 func (c *Core) fetchStage() {
+	if c.draining {
+		return // Drain starves the front end so the window empties
+	}
 	if c.ra.active && c.ra.usingBuffer {
 		return
 	}

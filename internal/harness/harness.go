@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/energy"
@@ -106,7 +107,17 @@ type Options struct {
 	// Benchmarks restricts figures to a subset (nil = the figure's full
 	// set). Used by the scaled-down `go test -bench` harness.
 	Benchmarks []string
-	Progress   func(bench, config string)
+	// Progress is invoked once per simulated run. During Prewarm it is
+	// called from worker goroutines concurrently; it must be safe for that.
+	Progress func(bench, config string)
+
+	// Sample, when non-nil, replaces each full detailed run with the
+	// sampled-interval engine: a functional fast-forward drops periodic
+	// architectural checkpoints, detailed intervals are simulated from them
+	// (warmup + measure each), and their statistics are merged. Timelines
+	// and simcheck full-run checking are unavailable in this mode (each
+	// interval still runs the resumed-oracle checker when Check is set).
+	Sample *SampleOptions
 
 	// TimelineInterval, when positive, attaches an interval sampler to every
 	// measured run; each Result then carries a Timeline. TimelineSamples
@@ -138,10 +149,33 @@ func (o Options) warmup(class workload.Class) uint64 {
 }
 
 // Runner memoizes simulation runs across figures, since most figures share
-// configurations.
+// configurations. It is safe for concurrent use: parallel Result calls for
+// distinct pairs simulate concurrently, while calls for the same pair share
+// one run (single-flight).
 type Runner struct {
-	opts  Options
-	cache map[string]*Result
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	// Planning mode (see Plan): Result records the requested pair and
+	// returns a placeholder instead of simulating.
+	planning bool
+	planSeen map[string]bool
+	planned  []PlannedRun
+}
+
+// entry is one memoized run; once gates the single simulation.
+type entry struct {
+	once sync.Once
+	res  *Result
+}
+
+// PlannedRun names one (benchmark, configuration) pair a set of experiments
+// will request, in first-request order.
+type PlannedRun struct {
+	Bench  string
+	Config RunConfig
 }
 
 // NewRunner returns a Runner with the given options.
@@ -149,7 +183,7 @@ func NewRunner(opts Options) *Runner {
 	if opts.MeasureUops == 0 {
 		opts.MeasureUops = DefaultOptions().MeasureUops
 	}
-	return &Runner{opts: opts, cache: make(map[string]*Result)}
+	return &Runner{opts: opts, cache: make(map[string]*entry)}
 }
 
 func key(bench string, rc RunConfig) string {
@@ -160,16 +194,87 @@ func key(bench string, rc RunConfig) string {
 // configuration.
 func (r *Runner) Result(bench string, rc RunConfig) *Result {
 	k := key(bench, rc)
-	if res, ok := r.cache[k]; ok {
-		return res
+	r.mu.Lock()
+	if r.planning {
+		if !r.planSeen[k] {
+			r.planSeen[k] = true
+			r.planned = append(r.planned, PlannedRun{Bench: bench, Config: rc})
+		}
+		r.mu.Unlock()
+		return placeholderResult(bench, rc)
 	}
-	spec, ok := workload.SpecOf(bench)
-	if !ok {
-		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
+	e := r.cache[k]
+	if e == nil {
+		e = &entry{}
+		r.cache[k] = e
 	}
-	if r.opts.Progress != nil {
-		r.opts.Progress(bench, rc.Label())
+	r.mu.Unlock()
+	e.once.Do(func() { e.res = r.run(bench, rc) })
+	return e.res
+}
+
+// Plan invokes fn with the runner in planning mode: every Result call inside
+// records its (benchmark, configuration) pair and returns a placeholder
+// without simulating. It returns the distinct pairs in first-request order —
+// the exact work list a later Prewarm needs. Placeholder-derived output must
+// be discarded; fn is for discovering the run set, not for rendering.
+func (r *Runner) Plan(fn func(*Runner)) []PlannedRun {
+	r.mu.Lock()
+	r.planning = true
+	r.planSeen = make(map[string]bool)
+	r.planned = nil
+	r.mu.Unlock()
+	fn(r)
+	r.mu.Lock()
+	runs := r.planned
+	r.planning = false
+	r.planSeen = nil
+	r.planned = nil
+	r.mu.Unlock()
+	return runs
+}
+
+// Prewarm simulates the given runs on a pool of `workers` goroutines,
+// filling the memo cache so subsequent Result calls return instantly. Since
+// results are memoized by pair, a prewarmed sweep renders byte-identically
+// to a sequential one — parallelism changes only who computes each entry.
+func (r *Runner) Prewarm(runs []PlannedRun, workers int) {
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	ch := make(chan PlannedRun)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pr := range ch {
+				r.Result(pr.Bench, pr.Config)
+			}
+		}()
+	}
+	for _, pr := range runs {
+		ch <- pr
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// placeholderResult stands in for a real run during planning. Histograms are
+// allocated and denominators nonzero so figure builders that dereference or
+// divide don't trip; everything derived from it is discarded.
+func placeholderResult(bench string, rc RunConfig) *Result {
+	st := core.NewStats()
+	st.Cycles = 1
+	st.Committed = 1
+	return &Result{Bench: bench, Config: rc, Stats: st, IPC: 1}
+}
+
+// configFor translates a RunConfig into a full core configuration.
+func configFor(rc RunConfig) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Mode = rc.Mode
 	cfg.Enhancements = rc.Enhancements
@@ -185,6 +290,26 @@ func (r *Runner) Result(bench string, rc RunConfig) *Result {
 	if rc.PFKind != "" {
 		cfg.Mem.PrefetchKind = rc.PFKind
 	}
+	return cfg
+}
+
+// run simulates one (benchmark, configuration) pair, full-detail or sampled.
+func (r *Runner) run(bench string, rc RunConfig) *Result {
+	spec, ok := workload.SpecOf(bench)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
+	}
+	if r.opts.Progress != nil {
+		r.opts.Progress(bench, rc.Label())
+	}
+	if r.opts.Sample != nil {
+		res, err := r.runSampled(bench, rc, spec)
+		if err != nil {
+			panic(fmt.Sprintf("harness: sampled run %s/%s: %v", bench, rc.Label(), err))
+		}
+		return res
+	}
+	cfg := configFor(rc)
 
 	p := workload.MustLoad(bench)
 	c := core.New(cfg, p)
@@ -223,7 +348,6 @@ func (r *Runner) Result(bench string, rc RunConfig) *Result {
 		ch := ch
 		res.Chains = append(res.Chains, ch.String())
 	}
-	r.cache[k] = res
 	return res
 }
 

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/energy"
+	"runaheadsim/internal/prog"
+	"runaheadsim/internal/simcheck"
+	"runaheadsim/internal/workload"
+)
+
+// SampleOptions tunes the sampled-interval engine (Options.Sample). The full
+// measured region is split into Intervals detailed windows spaced evenly
+// across it; a single functional fast-forward of the program drops an
+// architectural checkpoint ahead of each window, and every window is then
+// simulated in detail — WarmupUops to re-warm the cold microarchitectural
+// state, then the window's share of the measured uops — on a bounded worker
+// pool. Merged counters approximate the full run at a fraction of the
+// detailed-simulation cost.
+type SampleOptions struct {
+	// Intervals is the number of detailed windows (0 = 4).
+	Intervals int
+	// WarmupUops is the detailed warmup run before each window's
+	// measurement, re-warming caches and predictor from the cold
+	// checkpoint state (0 = 50_000).
+	WarmupUops uint64
+	// WindowUops is the measured length of each window. 0 (or anything at
+	// least the stratum length) measures the whole region in windows —
+	// detailed-execution parity with a full run, speedup from workers
+	// only. Smaller values measure just a sample of each stratum and
+	// fast-forward the rest, which is where the serial speedup comes
+	// from: detailed work drops from the full measured region to
+	// Intervals*(WarmupUops+WindowUops).
+	WindowUops uint64
+	// Workers bounds how many windows simulate concurrently
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o SampleOptions) intervals() int {
+	if o.Intervals <= 0 {
+		return 4
+	}
+	return o.Intervals
+}
+
+func (o SampleOptions) warmupUops() uint64 {
+	if o.WarmupUops == 0 {
+		return 50_000
+	}
+	return o.WarmupUops
+}
+
+func (o SampleOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// checkpoint is one interval's starting state: the architectural image at
+// ffUops committed uops, plus the detailed warmup and measurement lengths.
+type checkpoint struct {
+	id      int
+	st      prog.ArchState
+	warmup  uint64
+	measure uint64
+}
+
+// intervalResult carries one simulated window's counters back to the merge.
+type intervalResult struct {
+	id       int
+	st       *core.Stats
+	activity energy.Activity
+	llcMiss  uint64
+	dramReqs uint64
+	chains   []string
+	err      error
+}
+
+// runSampled approximates one full run by merging sampled detailed windows.
+// Any window that fails — a panic in the detailed core, a simcheck
+// violation, a fast-forward fault — fails the whole run, reported under the
+// lowest failing interval id.
+func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Result, error) {
+	so := *r.opts.Sample
+	cfg := configFor(rc)
+	p := workload.MustLoad(bench)
+
+	full := r.opts.warmup(spec.Class)
+	measure := r.opts.MeasureUops
+	n := so.intervals()
+	if uint64(n) > measure {
+		n = 1
+	}
+	step := measure / uint64(n)
+
+	// Plan the windows. Window i measures [start, start+measure_i) in
+	// committed-uop coordinates of the full run; the checkpoint is taken
+	// warmup uops earlier so the detailed core reaches the window warm.
+	// With WindowUops below the stratum length only a sample of each
+	// stratum is simulated in detail; the rest is covered by the
+	// functional fast-forward.
+	plan := make([]checkpoint, n)
+	for i := 0; i < n; i++ {
+		start := full + uint64(i)*step
+		m := step
+		if i == n-1 {
+			m = measure - step*uint64(n-1)
+		}
+		if so.WindowUops > 0 && so.WindowUops < m {
+			m = so.WindowUops
+		}
+		w := so.warmupUops()
+		if w > start {
+			w = start
+		}
+		plan[i] = checkpoint{id: i, warmup: w, measure: m}
+	}
+
+	// One interpreter streams through the program once, dropping each
+	// checkpoint as it passes; the bounded channel keeps at most a couple
+	// of memory images alive beyond the ones workers hold.
+	cks := make(chan checkpoint, 1)
+	var capErr error
+	go func() {
+		defer close(cks)
+		defer func() {
+			if rec := recover(); rec != nil {
+				capErr = fmt.Errorf("functional fast-forward: %v", rec)
+			}
+		}()
+		in := prog.NewInterp(p)
+		for _, ck := range plan {
+			ff := full + uint64(ck.id)*step - ck.warmup
+			in.Run(ff - in.Count())
+			ck.st = in.ArchState()
+			cks <- ck
+		}
+	}()
+
+	results := make([]intervalResult, n)
+	var wg sync.WaitGroup
+	for w := 0; w < so.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ck := range cks {
+				results[ck.id] = r.runInterval(cfg, p, ck)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if capErr != nil {
+		return nil, capErr
+	}
+	merged := core.NewStats()
+	var act energy.Activity
+	act.Stats = merged
+	var llcMisses uint64
+	res := &Result{Bench: bench, Config: rc, Stats: merged}
+	for i := range results {
+		ir := &results[i]
+		if ir.err != nil {
+			return nil, ir.err
+		}
+		if ir.st == nil {
+			return nil, fmt.Errorf("interval %d: no result", i)
+		}
+		merged.Merge(ir.st)
+		act.L1DAccesses += ir.activity.L1DAccesses
+		act.L1IAccesses += ir.activity.L1IAccesses
+		act.LLCAccesses += ir.activity.LLCAccesses
+		act.DRAMReads += ir.activity.DRAMReads
+		act.DRAMWrites += ir.activity.DRAMWrites
+		act.DRAMActivates += ir.activity.DRAMActivates
+		llcMisses += ir.llcMiss
+		res.DRAMRequests += ir.dramReqs
+		if len(ir.chains) > 0 {
+			res.Chains = ir.chains // keep the latest window's chains
+		}
+	}
+	// The energy model is linear in its counters, so computing it over the
+	// summed activity equals summing per-window breakdowns.
+	res.Energy = energy.Compute(energy.DefaultParams(), act)
+	res.IPC = merged.IPC()
+	res.MPKI = 1000 * float64(llcMisses) / float64(merged.Committed)
+	res.MemStallPct = 100 * float64(merged.MemStallCycles) / float64(merged.Cycles)
+	return res, nil
+}
+
+// runInterval simulates one detailed window from its checkpoint. Panics
+// (core bugs, simcheck violations) surface as errors tagged with the
+// interval id rather than killing the worker pool.
+func (r *Runner) runInterval(cfg core.Config, p *prog.Program, ck checkpoint) (ir intervalResult) {
+	ir.id = ck.id
+	defer func() {
+		if rec := recover(); rec != nil {
+			ir.err = fmt.Errorf("interval %d: %v", ck.id, rec)
+		}
+	}()
+	c := core.NewFromArch(cfg, p, ck.st)
+	var chk *simcheck.Checker
+	if r.opts.Check || simcheck.TagEnabled {
+		chk = simcheck.AttachResumed(c, p, simcheck.Options{})
+	}
+	c.Run(ck.warmup)
+	c.ResetStats()
+	ir.st = c.Run(ck.measure)
+	if chk != nil {
+		chk.Finish()
+	}
+	ir.activity = energy.Measure(c)
+	ir.llcMiss = c.Hierarchy().LLCDemandMisses
+	ir.dramReqs = c.Hierarchy().TotalDRAMRequests()
+	for _, chain := range c.CachedChains() {
+		ir.chains = append(ir.chains, chain.String())
+	}
+	return ir
+}

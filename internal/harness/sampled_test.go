@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/prog"
+	"runaheadsim/internal/workload"
+)
+
+// TestPlanCollectsRuns checks planning mode records each distinct pair once,
+// in first-request order, without simulating anything.
+func TestPlanCollectsRuns(t *testing.T) {
+	calls := int32(0)
+	r := NewRunner(Options{MeasureUops: 1_000, Progress: func(string, string) { atomic.AddInt32(&calls, 1) }})
+	runs := r.Plan(func(r *Runner) {
+		r.Result("mcf", Baseline)
+		r.Result("mcf", BufferCC)
+		r.Result("mcf", Baseline) // duplicate: must collapse
+		r.Result("lbm", Baseline)
+	})
+	if len(runs) != 3 {
+		t.Fatalf("planned %d runs, want 3: %+v", len(runs), runs)
+	}
+	if runs[0].Bench != "mcf" || runs[0].Config != Baseline ||
+		runs[1].Config != BufferCC || runs[2].Bench != "lbm" {
+		t.Fatalf("planned runs out of order: %+v", runs)
+	}
+	if atomic.LoadInt32(&calls) != 0 {
+		t.Fatal("planning mode must not simulate (Progress fired)")
+	}
+	if len(r.cache) != 0 {
+		t.Fatal("planning mode must not populate the cache")
+	}
+}
+
+// TestPlaceholderSurvivesFigureBuilders runs every experiment builder in
+// planning mode: placeholders must not trip any dereference or division in
+// the figure code, and the plan must cover a plausible run count.
+func TestPlaceholderSurvivesFigureBuilders(t *testing.T) {
+	r := NewRunner(Options{MeasureUops: 1_000, Benchmarks: []string{"mcf", "lbm"}})
+	runs := r.Plan(func(r *Runner) {
+		for _, e := range Experiments() {
+			e.Build(r)
+		}
+	})
+	if len(runs) < 10 {
+		t.Fatalf("full experiment plan only has %d runs", len(runs))
+	}
+}
+
+// TestPrewarmParallelByteIdentical checks the satellite guarantee: a sweep
+// prewarmed on N workers renders byte-identically to a purely sequential one.
+func TestPrewarmParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := Options{MeasureUops: 6_000, WarmupUops: 6_000, Benchmarks: []string{"mcf", "libquantum"}}
+	render := func(r *Runner) string {
+		var sb strings.Builder
+		for _, tb := range []Table{Figure9(r), Figure12(r)} {
+			tb.Render(&sb)
+		}
+		return sb.String()
+	}
+
+	seq := NewRunner(opts)
+	want := render(seq)
+
+	par := NewRunner(opts)
+	runs := par.Plan(func(r *Runner) { render(r) })
+	par.Prewarm(runs, 4)
+	if got := render(par); got != want {
+		t.Errorf("parallel prewarmed sweep differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestResultSingleFlight checks concurrent Result calls for one pair share a
+// single simulation.
+func TestResultSingleFlight(t *testing.T) {
+	var sims int32
+	r := NewRunner(Options{MeasureUops: 3_000, WarmupUops: 3_000,
+		Progress: func(string, string) { atomic.AddInt32(&sims, 1) }})
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Result("mcf", Baseline)
+		}(i)
+	}
+	wg.Wait()
+	for _, res := range results[1:] {
+		if res != results[0] {
+			t.Fatal("concurrent identical runs returned distinct results")
+		}
+	}
+	if n := atomic.LoadInt32(&sims); n != 1 {
+		t.Fatalf("pair simulated %d times, want 1", n)
+	}
+}
+
+// TestSampledMatchesFullRun checks the acceptance bound: the sampled engine
+// reproduces the full detailed run's IPC within the documented sampling
+// error, in baseline and runahead-buffer modes.
+func TestSampledMatchesFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	const tolerancePct = 15 // documented sampling error bound (EXPERIMENTS.md)
+	opts := Options{MeasureUops: 120_000, WarmupUops: 60_000}
+	full := NewRunner(opts)
+	sopts := opts
+	sopts.Sample = &SampleOptions{Intervals: 4, WarmupUops: 20_000, Workers: 4}
+	sampled := NewRunner(sopts)
+	wopts := opts
+	wopts.Sample = &SampleOptions{Intervals: 4, WarmupUops: 20_000, WindowUops: 15_000, Workers: 4}
+	windowed := NewRunner(wopts) // true sampling: half the region fast-forwarded
+
+	for _, rc := range []RunConfig{Baseline, BufferCC} {
+		f := full.Result("mcf", rc)
+		s := sampled.Result("mcf", rc)
+		w := windowed.Result("mcf", rc)
+		relErr := 100 * math.Abs(s.IPC-f.IPC) / f.IPC
+		winErr := 100 * math.Abs(w.IPC-f.IPC) / f.IPC
+		t.Logf("mcf/%s: full IPC %.3f, sampled IPC %.3f (%.1f%% error), windowed IPC %.3f (%.1f%% error)",
+			rc.Label(), f.IPC, s.IPC, relErr, w.IPC, winErr)
+		if relErr > tolerancePct {
+			t.Errorf("mcf/%s: sampled IPC %.3f vs full %.3f: %.1f%% error exceeds %d%%",
+				rc.Label(), s.IPC, f.IPC, relErr, tolerancePct)
+		}
+		if winErr > tolerancePct {
+			t.Errorf("mcf/%s: windowed IPC %.3f vs full %.3f: %.1f%% error exceeds %d%%",
+				rc.Label(), w.IPC, f.IPC, winErr, tolerancePct)
+		}
+		// Each window's Run overshoots by at most one commit group, so the
+		// merged total lands within a few uops of the full-run budget.
+		if s.Stats.Committed < opts.MeasureUops || s.Stats.Committed > opts.MeasureUops+64 {
+			t.Errorf("mcf/%s: sampled measured %d uops, want ~%d", rc.Label(), s.Stats.Committed, opts.MeasureUops)
+		}
+		if w.Stats.Committed < 60_000 || w.Stats.Committed > 60_064 {
+			t.Errorf("mcf/%s: windowed measured %d uops, want ~60000", rc.Label(), w.Stats.Committed)
+		}
+	}
+}
+
+// TestSampledIntervalErrorID checks the error-surfacing satellite: a failing
+// detailed window is reported as an error naming its interval id instead of
+// killing the worker or being swallowed.
+func TestSampledIntervalErrorID(t *testing.T) {
+	r := NewRunner(Options{MeasureUops: 2_000})
+	p := workload.MustLoad("mcf")
+	// A checkpoint with no memory image makes the detailed core fault on
+	// its first load — a stand-in for any interval-local simulator bug.
+	ir := r.runInterval(core.DefaultConfig(), p, checkpoint{id: 3, warmup: 500, measure: 500,
+		st: prog.ArchState{Index: 0}})
+	if ir.err == nil {
+		t.Fatal("broken interval produced no error")
+	}
+	if !strings.Contains(ir.err.Error(), "interval 3") {
+		t.Fatalf("interval error does not name its id: %v", ir.err)
+	}
+}

@@ -1,5 +1,7 @@
 package prefetch
 
+import "runaheadsim/internal/snapshot"
+
 // Engine is the interface the memory system drives: any prefetcher that
 // trains on LLC demand accesses and emits prefetch addresses. Two
 // implementations exist — the paper's stream prefetcher (Prefetcher) and a
@@ -18,6 +20,9 @@ type Engine interface {
 	ResetStats()
 	// Counters returns the cumulative statistics.
 	Counters() Counters
+	// Snapshotter: every engine serializes its own training state so a
+	// restored machine prefetches identically to the uninterrupted run.
+	snapshot.Snapshotter
 }
 
 // Counters summarizes prefetcher activity.

@@ -1,0 +1,91 @@
+package prog
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/isa"
+	"runaheadsim/internal/snapshot"
+)
+
+// SnapshotTo serializes the memory image as a counted list of (page number,
+// raw page) pairs in ascending page order. All-zero pages are skipped: reads
+// of unmapped memory return zero, so dropping them is semantics-preserving
+// and keeps checkpoints proportional to the touched footprint.
+func (m *Memory) SnapshotTo(w *snapshot.Writer) error {
+	w.Mark("mem")
+	var zero [pageSize]byte
+	pns := m.pageNums()
+	live := pns[:0]
+	for _, pn := range pns {
+		if *m.pages[pn] != zero {
+			live = append(live, pn)
+		}
+	}
+	w.Int(len(live))
+	for _, pn := range live {
+		w.U64(pn)
+		w.Raw(m.pages[pn][:])
+	}
+	return nil
+}
+
+// RestoreFrom replaces m's contents with the snapshotted image.
+func (m *Memory) RestoreFrom(r *snapshot.Reader) error {
+	r.Expect("mem")
+	n := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.pages = make(map[uint64]*[pageSize]byte, n)
+	for i := 0; i < n; i++ {
+		pn := r.U64()
+		raw := r.Raw(pageSize)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		p := new([pageSize]byte)
+		copy(p[:], raw)
+		m.pages[pn] = p
+	}
+	return r.Err()
+}
+
+// TextDigest returns an FNV digest over the program's name and uop sequence.
+// A snapshot embeds it so a checkpoint cannot be restored against a different
+// program (or a differently-built variant of the same benchmark). The initial
+// data image is deliberately excluded: Init is derived deterministically from
+// Name by the workload builder, and the snapshot carries the live memory
+// image anyway.
+func (p *Program) TextDigest() uint64 {
+	w := &snapshot.Writer{}
+	w.Str(p.Name)
+	w.Int(len(p.Uops))
+	for i := range p.Uops {
+		w.Str(fmt.Sprintf("%+v", p.Uops[i]))
+	}
+	return snapshot.HashBytes(w.Bytes())
+}
+
+// ArchState is a pure architectural checkpoint: the committed memory image,
+// register file, and program position. It contains no microarchitectural
+// state, so it can seed a cold detailed core (core.NewFromArch) or a fresh
+// interpreter (NewInterpAt).
+type ArchState struct {
+	Mem   *Memory
+	Regs  [isa.NumArchRegs]int64
+	Index int    // static uop index of the next uop to execute
+	Count uint64 // uops executed so far
+}
+
+// ArchState captures the interpreter's architectural state. The memory image
+// is deep-cloned, so the checkpoint stays valid as the interpreter runs on.
+func (in *Interp) ArchState() ArchState {
+	return ArchState{Mem: in.Mem.Clone(), Regs: in.Regs, Index: in.pc, Count: in.count}
+}
+
+// NewInterpAt returns an interpreter positioned at the checkpoint. Ownership
+// of st.Mem transfers to the interpreter; callers that need the checkpoint
+// again must Clone it first.
+func NewInterpAt(p *Program, st ArchState) *Interp {
+	return &Interp{P: p, Mem: st.Mem, Regs: st.Regs, pc: st.Index, count: st.Count}
+}

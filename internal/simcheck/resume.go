@@ -1,0 +1,39 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/prog"
+)
+
+// AttachResumed hooks a Checker onto a core whose architectural state is not
+// the program entry — one restored from a snapshot (core.RestoreCore) or
+// seeded from a functional checkpoint (core.NewFromArch). The oracle
+// interpreter is synchronized to the core's committed state: a clone of its
+// memory image, its architectural registers, and its resume PC. The core must
+// be quiescent and not yet run since restore, so the next correct-path
+// retirement is exactly the uop at the resume PC.
+func AttachResumed(c *core.Core, p *prog.Program, opts Options) *Checker {
+	if opts.DeepInterval <= 0 {
+		opts.DeepInterval = 64
+	}
+	if opts.Failf == nil {
+		opts.Failf = func(format string, args ...any) {
+			panic("simcheck: " + fmt.Sprintf(format, args...))
+		}
+	}
+	idx := p.IndexOf(c.FetchPC())
+	if idx < 0 {
+		panic(fmt.Sprintf("simcheck: resumed core's fetch PC %#x is not valid text", c.FetchPC()))
+	}
+	in := prog.NewInterpAt(p, prog.ArchState{
+		Mem:   c.Mem().Clone(),
+		Regs:  c.ArchRegs(),
+		Index: idx,
+	})
+	k := &Checker{c: c, in: in, opts: opts, digest: fnvOffset}
+	c.SetCommitHook(k.onCommit)
+	c.SetCycleHook(k.onCycle)
+	return k
+}

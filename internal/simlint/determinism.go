@@ -31,6 +31,9 @@ var simPackages = []string{
 	"internal/prefetch",
 	"internal/prog",
 	"internal/isa",
+	// The wire format must serialize identical machine states to identical
+	// bytes, so the snapshot layer is held to the same determinism bar.
+	"internal/snapshot",
 }
 
 func hasPathSuffix(path, suffix string) bool {

@@ -48,6 +48,27 @@ func (c *C) good(r *rand.Rand) int {
 	})
 }
 
+// TestDeterminismCoversSnapshotPackage checks the serialization layer is
+// held to the strict float-accumulation tier like the timing model: the wire
+// format must map identical machine states to identical bytes.
+func TestDeterminismCoversSnapshotPackage(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/snapshot": {"w.go": `package snapshot
+
+var f float64
+
+func acc() { f += 1.5 }
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/snapshot", Determinism)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{5, "floating-point accumulation"},
+	})
+}
+
 // TestDeterminismOutsideSimPackages checks scoping: float accumulation is
 // only policed in timing-model packages, and the rand/time rules only in
 // internal ones; range-over-map is flagged everywhere.

@@ -1,0 +1,108 @@
+// Package snapshot is the checkpoint/restore substrate of the simulator: a
+// versioned, deterministic binary wire format plus the Snapshotter contract
+// every stateful layer implements.
+//
+// Design rules (enforced by the Writer/Reader API and the simlint
+// determinism analyzer, which covers this package):
+//
+//   - stable field order — every layer writes its fields in declaration
+//     order, and map-backed state is always emitted under sorted keys, so
+//     the same machine state always produces the same bytes;
+//   - no maps in the wire format — only fixed-width scalars, length-prefixed
+//     byte strings, and counted lists;
+//   - self-describing sections — each layer opens its region with a Mark
+//     the Reader verifies, so a skew between writer and reader fails with
+//     the section name instead of silently misparsing;
+//   - a self-digest in the container header — an FNV-1a 64 over the payload,
+//     verified before any field is parsed.
+//
+// The format carries microarchitectural state only at quiescence: closures
+// (in-flight MSHR waiters, scheduled events) are unserializable by design,
+// so layers that own them refuse to snapshot until drained. core.Drain
+// brings the whole machine to such a point.
+package snapshot
+
+import "fmt"
+
+// Magic identifies a snapshot container.
+const Magic = "RSNP"
+
+// Version is the wire-format version. Bump it on any incompatible layout
+// change; Decode rejects mismatches.
+const Version = 1
+
+// FNV-1a 64-bit parameters (the same constants simcheck's digests use).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashBytes returns the FNV-1a 64 digest of b.
+func HashBytes(b []byte) uint64 { return fnvBytes(fnvOffset, b) }
+
+// HashString returns the FNV-1a 64 digest of s.
+func HashString(s string) uint64 { return fnvBytes(fnvOffset, []byte(s)) }
+
+// Snapshotter is implemented by every stateful layer. SnapshotTo serializes
+// the layer's state in a stable order; RestoreFrom reads it back into an
+// already-constructed instance of compatible configuration. Implementations
+// must be symmetric: RestoreFrom(SnapshotTo(x)) leaves the layer bit-exact
+// with x for every field that can influence subsequent simulation.
+type Snapshotter interface {
+	SnapshotTo(w *Writer) error
+	RestoreFrom(r *Reader) error
+}
+
+// Encode frames a payload into a self-verifying container:
+//
+//	magic[4] version:u32 kindLen:u32 kind payloadLen:u64 digest:u64 payload
+//
+// kind names the container content (e.g. "machine") so a file is rejected
+// when fed to the wrong restorer.
+func Encode(kind string, payload []byte) []byte {
+	w := &Writer{}
+	w.buf = append(w.buf, Magic...)
+	w.U32(Version)
+	w.Str(kind)
+	w.U64(uint64(len(payload)))
+	w.U64(HashBytes(payload))
+	w.buf = append(w.buf, payload...)
+	return w.buf
+}
+
+// Decode verifies a container's magic, version, kind and payload digest, and
+// returns the payload.
+func Decode(data []byte, kind string) ([]byte, error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic (not a %s container)", Magic)
+	}
+	r := NewReader(data[len(Magic):])
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("snapshot: wire format version %d, this build reads %d", v, Version)
+	}
+	k := r.Str()
+	n := r.U64()
+	digest := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", err)
+	}
+	if k != kind {
+		return nil, fmt.Errorf("snapshot: container holds %q, want %q", k, kind)
+	}
+	payload := r.Rest()
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("snapshot: payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := HashBytes(payload); got != digest {
+		return nil, fmt.Errorf("snapshot: payload digest %#x does not match header %#x (corrupt or truncated)", got, digest)
+	}
+	return payload, nil
+}
