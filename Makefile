@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench bench-go sweep report examples clean
+.PHONY: test vet lint check bench bench-core bench-go sweep report examples clean
 
 test:
 	go test ./...
@@ -30,6 +30,13 @@ bench:
 		-sample -intervals 4 -sample-window 40000 -sample-warmup 20000 \
 		-j 8 -q -bench-out BENCH_sweep.json -out /dev/null
 
+# Benchmark the cycle kernel: event-driven wakeup/select scheduler vs the
+# reference ROB scan on the memory-bound workloads, each pair verified to
+# finish on the same cycle with byte-identical snapshots. Writes
+# BENCH_core.json (see DESIGN.md, "Event-driven wakeup/select scheduler").
+bench-core:
+	go run ./cmd/runahead-sweep -bench-core BENCH_core.json
+
 # One scaled-down benchmark per paper table/figure, plus ablations.
 bench-go:
 	go test -bench . -benchtime 1x .
@@ -49,4 +56,4 @@ examples:
 	go run ./examples/energy_tradeoff
 
 clean:
-	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json
+	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json

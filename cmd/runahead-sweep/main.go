@@ -50,9 +50,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		sWindow   = fs.Uint64("sample-window", 0, "measured uops per sampled interval (0 = the whole region, split)")
 		sWarmup   = fs.Uint64("sample-warmup", 0, "detailed warmup uops per sampled interval (0 = 50000)")
 		benchOut  = fs.String("bench-out", "", "benchmark the sweep (parallel/sampled vs sequential full-detail) and write the JSON report here")
+		benchCore = fs.String("bench-core", "", "benchmark the cycle kernel (event vs scan scheduler, with equivalence checks) and write the JSON report here")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+
+	if *benchCore != "" {
+		var set []string
+		if *benches != "" {
+			set = strings.Split(*benches, ",")
+		}
+		return runBenchCore(*benchCore, set, *uops, stderr)
 	}
 
 	var w io.Writer = stdout
@@ -244,4 +253,33 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// runBenchCore handles -bench-core: time the event-driven scheduler against
+// the scan reference on memory-bound workloads (each pair equivalence-checked
+// down to snapshot bytes) and write BENCH_core.json.
+func runBenchCore(path string, benches []string, uops uint64, stderr io.Writer) int {
+	rep, err := harness.BenchCore(benches, uops)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, r := range rep.Runs {
+		fmt.Fprintf(stderr, "bench-core: %-10s %-18s %9d cycles  scan %8.0f c/s  event %8.0f c/s  %.2fx\n",
+			r.Bench, r.Mode, r.SimCycles, r.ScanCyclesPerSec, r.EventCyclesPerSec, r.Speedup)
+	}
+	fmt.Fprintf(stderr, "bench-core: geomean speedup %.2fx over %d runs\n", rep.GeomeanSpeedup, len(rep.Runs))
+	return 0
 }

@@ -40,19 +40,15 @@ func (c *Core) feedFromBuffer() {
 			return
 		}
 		c.seq++
-		d := &DynInst{
-			Seq:        c.seq,
-			PC:         cu.PC,
-			Index:      cu.Index,
-			U:          &cu.U,
-			PDst:       noPhys,
-			PSrc1:      noPhys,
-			PSrc2:      noPhys,
-			POld:       noPhys,
-			FetchCycle: c.now,
-			Runahead:   true,
-			FromBuffer: true,
-		}
+		d := c.newDyn()
+		d.Seq = c.seq
+		d.PC = cu.PC
+		d.Index = cu.Index
+		d.U = &cu.U
+		d.PDst, d.PSrc1, d.PSrc2, d.POld = noPhys, noPhys, noPhys, noPhys
+		d.FetchCycle = c.now
+		d.Runahead = true
+		d.FromBuffer = true
 		c.ra.bufferPos = (c.ra.bufferPos + 1) % len(c.ra.chain.Uops)
 		c.st.BufferUopsIssued++
 		c.dispatch(d)
@@ -96,6 +92,7 @@ func (c *Core) dispatch(d *DynInst) {
 	c.rob.push(d)
 	c.traceDispatch(d)
 	d.Renamed = true
+	c.enroll(d)
 	c.rsCount++
 	if u.Op.IsLoad() {
 		c.lqCount++
@@ -110,8 +107,38 @@ func (c *Core) dispatch(d *DynInst) {
 }
 
 // issueStage selects up to IssueWidth ready uops, oldest first, bounded by
-// data-cache ports for memory operations.
+// data-cache ports for memory operations. The event-driven scheduler
+// (sched.go) is the default; the ROB scan is preserved as the reference the
+// lockstep equivalence tests compare against.
 func (c *Core) issueStage() {
+	if c.cfg.Scheduler == SchedScan {
+		c.issueStageScan()
+		return
+	}
+	c.issueStageEvent()
+}
+
+// issue performs the selection bookkeeping shared by both schedulers.
+func (c *Core) issue(d *DynInst) {
+	d.Issued = true
+	d.IssueCycle = c.now
+	c.rsCount--
+	c.st.Issued++
+	// PRF read energy: one read per register source actually named. Uops
+	// with zero or one source (immediates, moves, branches on one register)
+	// previously over-counted at a flat two reads per issue.
+	if d.PSrc1 != noPhys {
+		c.st.PRFReads++
+	}
+	if d.PSrc2 != noPhys {
+		c.st.PRFReads++
+	}
+	c.traceIssue(d)
+	c.startExec(d)
+}
+
+// issueStageScan is the reference O(ROB) selection loop.
+func (c *Core) issueStageScan() {
 	issued, memIssued := 0, 0
 	for i := 0; i < c.rob.size() && issued < c.cfg.IssueWidth; i++ {
 		d := c.rob.at(i)
@@ -125,35 +152,40 @@ func (c *Core) issueStage() {
 			if memIssued >= c.cfg.MemPorts {
 				continue
 			}
-			if d.U.Op.IsLoad() && !c.loadCanIssue(i, d) {
+			if d.U.Op.IsLoad() && !c.loadCanIssueScan(i, d) {
 				continue
 			}
 		}
-		d.Issued = true
-		d.IssueCycle = c.now
-		c.rsCount--
+		c.issue(d)
 		issued++
 		if d.U.Op.IsMem() {
 			memIssued++
 		}
-		c.st.Issued++
-		c.st.PRFReads += 2
-		c.traceIssue(d)
-		c.startExec(d)
 	}
 }
 
-// loadCanIssue enforces conservative memory disambiguation on the correct
-// path: a load waits until every older store in the window has a computed
-// address, and until an overlapping older store has its data ready (so it
-// can forward). During runahead all results are speculative and discarded,
-// so loads ignore unknown-address stores entirely (classic runahead
-// semantics — the runahead cache catches the forwarding that matters);
-// stalling them behind slow store-data chains would strangle the prefetching
-// the mode exists for.
-func (c *Core) loadCanIssue(idx int, d *DynInst) bool {
+// loadCanIssueScan enforces conservative memory disambiguation on the
+// correct path: a load waits until every older store in the window has a
+// computed address, and until an overlapping older store has its data ready
+// (so it can forward). During runahead all results are speculative and
+// discarded, so loads ignore unknown-address stores entirely (classic
+// runahead semantics — the runahead cache catches the forwarding that
+// matters); stalling them behind slow store-data chains would strangle the
+// prefetching the mode exists for. This is the reference walk; the event
+// scheduler's loadCanIssueEvent (sched.go) must agree with it exactly.
+func (c *Core) loadCanIssueScan(idx int, d *DynInst) bool {
 	if c.ra.active {
 		return true
+	}
+	ea, eaKnown := d.predictedEA(c)
+	if !eaKnown {
+		// The load's own address is unknowable (poisoned sources): wait
+		// rather than disambiguate against a fabricated address, which could
+		// falsely overlap (or falsely clear) a real store. Unreachable on
+		// the correct path today — poison exists only inside runahead, where
+		// disambiguation is skipped — so waiting costs nothing and fails
+		// loudly (watchdog) if that ever changes.
+		return false
 	}
 	for j := idx - 1; j >= 0; j-- {
 		s := c.rob.at(j)
@@ -166,7 +198,7 @@ func (c *Core) loadCanIssue(idx int, d *DynInst) bool {
 		if !s.EAValid {
 			return false
 		}
-		if overlaps(s.EA, d.predictedEA(c)) {
+		if overlaps(s.EA, ea) {
 			if !s.Executed {
 				return false
 			}
@@ -175,13 +207,14 @@ func (c *Core) loadCanIssue(idx int, d *DynInst) bool {
 	return true
 }
 
-// predictedEA computes the load's address from ready sources (they are ready
-// at this point, or poisoned — poisoned addresses return a dummy).
-func (d *DynInst) predictedEA(c *Core) uint64 {
+// predictedEA computes the load's address from ready sources. ok is false
+// when a source is poisoned: the address is unknowable and callers must
+// treat the load conservatively instead of comparing a dummy value.
+func (d *DynInst) predictedEA(c *Core) (ea uint64, ok bool) {
 	if c.srcPoisoned(d.PSrc1) || (d.U.Scaled && c.srcPoisoned(d.PSrc2)) {
-		return ^uint64(0) // never overlaps an 8-byte slot
+		return 0, false
 	}
-	return prog.EffAddr(d.U, c.srcVal(d.PSrc1), c.srcVal(d.PSrc2))
+	return prog.EffAddr(d.U, c.srcVal(d.PSrc1), c.srcVal(d.PSrc2)), true
 }
 
 func overlaps(a, b uint64) bool {
@@ -203,13 +236,13 @@ func (c *Core) startExec(d *DynInst) {
 	switch {
 	case u.Op.IsLoad():
 		c.st.ExecMem++
-		c.schedule(c.now+1, func() { c.execLoad(d) })
+		c.schedule(c.now+1, evExecLoad, d)
 	case u.Op.IsStore():
 		c.st.ExecMem++
-		c.schedule(c.now+1, func() { c.execStore(d) })
+		c.schedule(c.now+1, evExecStore, d)
 	case u.Op.IsBranch():
 		c.st.ExecBranch++
-		c.schedule(c.now+int64(u.Op.ExecLatency()), func() { c.execBranch(d) })
+		c.schedule(c.now+int64(u.Op.ExecLatency()), evExecBranch, d)
 	default:
 		switch u.Op.FU() {
 		case isa.FUMul:
@@ -221,13 +254,10 @@ func (c *Core) startExec(d *DynInst) {
 		default:
 			c.st.ExecALU++
 		}
-		s1, s2 := c.srcVal(d.PSrc1), c.srcVal(d.PSrc2)
-		d.Prod1, d.Prod2 = c.srcProd(d.PSrc1), c.srcProd(d.PSrc2)
-		v := prog.Eval(u, s1, s2)
-		c.schedule(c.now+int64(u.Op.ExecLatency()), func() {
-			d.Value = v
-			c.complete(d)
-		})
+		// Value and producer tags are computed when the event fires
+		// (fireEvent): issued sources are stable, so the result is identical
+		// and no closure is allocated.
+		c.schedule(c.now+int64(u.Op.ExecLatency()), evALUComplete, d)
 	}
 }
 
@@ -244,6 +274,7 @@ func (c *Core) execStore(d *DynInst) {
 		d.EA = prog.EffAddr(d.U, c.srcVal(d.PSrc1), 0)
 		d.EAValid = true
 		d.StoreData = c.srcVal(d.PSrc2)
+		c.noteStoreAddr(d)
 	}
 	d.Prod1, d.Prod2 = c.srcProd(d.PSrc1), c.srcProd(d.PSrc2)
 	if c.ra.active {
@@ -278,24 +309,29 @@ func (c *Core) execLoad(d *DynInst) {
 	}
 
 	// Store-queue forwarding: youngest older store with an overlapping
-	// address.
+	// address — via the address index under the event scheduler, via the
+	// reference window walk under the scan scheduler.
 	var fwd *DynInst
-	for i := c.robIndexOf(d) - 1; i >= 0; i-- {
-		s := c.rob.at(i)
-		if !s.U.Op.IsStore() || !s.EAValid {
-			continue
+	if c.cfg.Scheduler == SchedScan {
+		for i := c.robIndexOf(d) - 1; i >= 0; i-- {
+			s := c.rob.at(i)
+			if !s.U.Op.IsStore() || !s.EAValid {
+				continue
+			}
+			if overlaps(s.EA, d.EA) {
+				fwd = s
+				break
+			}
 		}
-		if overlaps(s.EA, d.EA) {
-			fwd = s
-			break
-		}
+	} else {
+		fwd = c.forwardingStore(d)
 	}
 	if fwd != nil {
 		if !fwd.Executed {
 			// Defensive replay: unreachable while stores compute address and
 			// data in the same cycle, correct if those ever split.
 			c.st.LoadRetries++
-			c.schedule(c.now+1, func() { c.execLoad(d) })
+			c.schedule(c.now+1, evExecLoad, d)
 			return
 		}
 		c.st.StoreForward++
@@ -309,7 +345,7 @@ func (c *Core) execLoad(d *DynInst) {
 		}
 		d.Value = fwd.StoreData
 		d.MemLevel = memsys.LevelL1
-		c.schedule(c.now+2, func() { c.complete(d) })
+		c.schedule(c.now+2, evComplete, d)
 		return
 	}
 
@@ -325,7 +361,7 @@ func (c *Core) execLoad(d *DynInst) {
 			}
 			d.Value = v
 			d.MemLevel = memsys.LevelL1
-			c.schedule(c.now+2, func() { c.complete(d) })
+			c.schedule(c.now+2, evComplete, d)
 			return
 		}
 	}
@@ -337,30 +373,39 @@ func (c *Core) execLoad(d *DynInst) {
 	if d.memIssued {
 		return
 	}
-	ok := c.h.Load(c.now, d.EA, noWait,
+	// The callbacks below can fire long after d has left the machine and its
+	// slot been recycled (pseudo-retire frees the runahead blocking load while
+	// its DRAM fill is still outstanding). gen gates every mutation of d; the
+	// captured seq and ea keep the machine-level effects — runahead exit and
+	// miss-age bookkeeping — correct independently of the slot's fate.
+	gen, seq, ea := d.gen, d.Seq, d.EA
+	ok := c.h.Load(c.now, ea, noWait,
 		func(int64) { // DRAM-bound miss discovered
-			d.DRAMBound = true
-			line := d.EA &^ 63
+			line := ea &^ 63
 			if _, seen := c.missAge[line]; !seen {
 				if len(c.missAge) > 8192 {
 					clear(c.missAge)
 				}
 				c.missAge[line] = c.now
 			}
+			if d.gen != gen {
+				return
+			}
+			d.DRAMBound = true
 			// Classic runahead invalidates every load that misses to DRAM
 			// while in runahead mode, so the window can drain past it. Loads
 			// issued no-wait poison through their own completion path.
-			if c.ra.active && !noWait && !d.Executed && !d.Squashed && d.Seq != c.ra.blockingSeq {
+			if c.ra.active && !noWait && !d.Executed && !d.Squashed && seq != c.ra.blockingSeq {
 				d.MemLevel = memsys.LevelMem
 				c.poisonComplete(d)
 			}
 		},
 		func(o memsys.Outcome) {
-			if c.ra.active && d.Seq == c.ra.blockingSeq {
+			if c.ra.active && seq == c.ra.blockingSeq {
 				// The data that blocked the ROB is back: leave runahead.
 				c.ra.pendingExit = true
 			}
-			if d.Squashed || d.Executed {
+			if d.gen != gen || d.Squashed || d.Executed {
 				return
 			}
 			d.MemLevel = o.Level
@@ -377,7 +422,7 @@ func (c *Core) execLoad(d *DynInst) {
 		})
 	if !ok {
 		c.st.LoadRetries++
-		c.schedule(c.now+1, func() { c.execLoad(d) })
+		c.schedule(c.now+1, evExecLoad, d)
 		return
 	}
 	d.memIssued = true
@@ -417,6 +462,7 @@ func (c *Core) complete(d *DynInst) {
 		c.prf.poison[d.PDst] = d.Poisoned
 		c.prf.prod[d.PDst] = d.Seq
 		c.st.PRFWrites++
+		c.broadcast(d.PDst)
 	}
 	if d.IsBranch && !d.Poisoned {
 		c.resolveBranch(d)
@@ -515,6 +561,9 @@ func (c *Core) squash(t *DynInst) {
 	t.Squashed = true
 	c.st.SquashedUops++
 	c.traceSquash(t)
+	if t.U.Op.IsStore() {
+		c.dropStore(t)
+	}
 	if t.U.Op.IsLoad() && t.memIssued {
 		// The request outlives the squash; it may prefetch a line the
 		// correct path wants.
@@ -533,4 +582,7 @@ func (c *Core) squash(t *DynInst) {
 	if t.U.Op.IsStore() {
 		c.sqCount--
 	}
+	// The ROB slot was the last owning reference; outstanding events, memory
+	// callbacks, and scheduler entries all hold gen captures and go dead now.
+	c.freeDyn(t)
 }

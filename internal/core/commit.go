@@ -37,6 +37,7 @@ func (c *Core) commitStage() {
 			c.ra.pseudoRetired++
 			c.lastProgress = c.now
 			committed++
+			c.freeDyn(d)
 			continue
 		}
 		if d.U.Op.IsStore() {
@@ -63,18 +64,20 @@ func (c *Core) commitStage() {
 		if c.onCommit != nil {
 			c.onCommit(d)
 		}
+		c.freeDyn(d)
 	}
 }
 
-// recycle returns d's queue occupancy. During runahead, physical registers
-// are not individually reclaimed — the wholesale reset at exit rebuilds the
-// free list.
+// recycle returns d's queue occupancy and scheduler index entries. During
+// runahead, physical registers are not individually reclaimed — the
+// wholesale reset at exit rebuilds the free list.
 func (c *Core) recycle(d *DynInst) {
 	if d.U.Op.IsLoad() {
 		c.lqCount--
 	}
 	if d.U.Op.IsStore() {
 		c.sqCount--
+		c.dropStore(d)
 	}
 }
 

@@ -64,6 +64,34 @@ func (m Mode) UsesBuffer() bool {
 	return m == ModeBuffer || m == ModeBufferCC || m == ModeHybrid || m == ModeAdaptive
 }
 
+// SchedulerKind selects the issue-scheduler implementation. Both produce
+// identical simulated behavior — cycle counts, statistics, and snapshot
+// bytes — which the lockstep equivalence tests enforce; only simulator speed
+// differs.
+type SchedulerKind uint8
+
+const (
+	// SchedEvent is the event-driven wakeup/select scheduler (sched.go):
+	// per-register waiter lists, an age-ordered ready queue, and a
+	// store-address index. The default.
+	SchedEvent SchedulerKind = iota
+	// SchedScan is the reference implementation: re-scan the ROB every cycle
+	// and walk older stores per load. Kept for differential testing.
+	SchedScan
+)
+
+// String implements fmt.Stringer.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedEvent:
+		return "event"
+	case SchedScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
 // Config holds every core parameter. DefaultConfig reproduces Table 1.
 type Config struct {
 	// Pipeline widths (Table 1: 4-wide issue).
@@ -81,6 +109,12 @@ type Config struct {
 	RedirectPenalty int
 	// MemPorts bounds data-cache accesses per cycle (Table 1: 2 ports).
 	MemPorts int
+
+	// Scheduler selects the issue-scheduler implementation (simulator speed
+	// only; simulated behavior is identical across kinds). The zero value is
+	// SchedEvent. Excluded from the snapshot configuration fingerprint so
+	// snapshots from either kind interoperate.
+	Scheduler SchedulerKind
 
 	// Runahead policy.
 	Mode Mode

@@ -14,6 +14,28 @@ import (
 // is far below this.
 const eventWindow = 128
 
+// evKind names a core-internal event. Events are typed records rather than
+// closures so the per-uop hot path allocates nothing beyond the DynInst
+// itself; every event is a (kind, uop) pair dispatched by fireEvent.
+type evKind uint8
+
+const (
+	evExecLoad    evKind = iota // AGU + disambiguation + memory access
+	evExecStore                 // AGU + store-data capture
+	evExecBranch                // branch resolution
+	evALUComplete               // ALU/MUL/DIV/FP result write-back
+	evComplete                  // plain completion (value already in d.Value)
+)
+
+// coreEvent is one scheduled core-internal event. gen snapshots the uop's
+// pool generation at schedule time; a mismatch at fire time means the slot
+// was recycled and the event is dead.
+type coreEvent struct {
+	kind evKind
+	d    *DynInst
+	gen  uint64
+}
+
 // Core is the simulated processor: one out-of-order core attached to the
 // memory hierarchy, running one program.
 type Core struct {
@@ -50,8 +72,21 @@ type Core struct {
 	sqCount  int
 	storeBuf []sbEntry
 
-	// Core-internal scheduled events (completions, replays).
-	events [eventWindow][]func()
+	// Core-internal scheduled events (completions, replays). Slots are
+	// reused in place: firing truncates to length zero, keeping the backing
+	// arrays warm.
+	events [eventWindow][]coreEvent
+
+	// Event-driven wakeup/select scheduler state (see sched.go). Always
+	// allocated; under SchedScan only the store-address index is bypassed and
+	// the wakeup structures stay empty.
+	sched issueSched
+
+	// dynPool recycles DynInst allocations. A uop is released exactly once —
+	// at commit, pseudo-retire, squash, or front-end discard — and its gen is
+	// bumped so outstanding lazy references recognize the slot as recycled.
+	// Reuse order is LIFO and deterministic.
+	dynPool []*DynInst
 
 	// Runahead machinery.
 	ra      raState
@@ -116,6 +151,7 @@ func New(cfg Config, p *prog.Program) *Core {
 		racache: newRACache(cfg.RACacheBytes, cfg.RACacheWays, cfg.RACacheLineBytes),
 		ccache:  newChainCache(cfg.ChainCacheEntries),
 		missAge: make(map[uint64]int64),
+		sched:   newIssueSched(cfg.NumPhysRegs),
 	}
 	for i := 0; i < isa.NumArchRegs; i++ {
 		c.prf.ready[i] = true
@@ -154,7 +190,29 @@ func (c *Core) Now() int64 { return c.now }
 // cache (for inspection; see Chain.String for Figure 7-style rendering).
 func (c *Core) CachedChains() []Chain { return c.ccache.CachedChains() }
 
-func (c *Core) schedule(at int64, fn func()) {
+// newDyn returns a zeroed DynInst, reusing a recycled slot when one is
+// available. The generation survives the reset — that is the whole point.
+func (c *Core) newDyn() *DynInst {
+	n := len(c.dynPool)
+	if n == 0 {
+		return &DynInst{}
+	}
+	d := c.dynPool[n-1]
+	c.dynPool[n-1] = nil
+	c.dynPool = c.dynPool[:n-1]
+	*d = DynInst{gen: d.gen}
+	return d
+}
+
+// freeDyn releases a uop that has left the machine. Bumping gen invalidates
+// every outstanding lazy reference (events, memory callbacks, scheduler
+// entries) without searching for them.
+func (c *Core) freeDyn(d *DynInst) {
+	d.gen++
+	c.dynPool = append(c.dynPool, d)
+}
+
+func (c *Core) schedule(at int64, kind evKind, d *DynInst) {
 	if at <= c.now {
 		at = c.now + 1
 	}
@@ -162,7 +220,36 @@ func (c *Core) schedule(at int64, fn func()) {
 		panic("core: event scheduled beyond the event window")
 	}
 	slot := at % eventWindow
-	c.events[slot] = append(c.events[slot], fn)
+	c.events[slot] = append(c.events[slot], coreEvent{kind: kind, d: d, gen: d.gen})
+}
+
+// fireEvent dispatches one typed event. ALU results are computed here rather
+// than at issue: the sources of an issued uop are stable (ready bits are
+// monotonic for a consumer's lifetime and physical registers are never
+// reused while a reader is in flight), so the value is the same and the
+// closure capture the old scheduler needed is avoided.
+func (c *Core) fireEvent(ev coreEvent) {
+	d := ev.d
+	if d.gen != ev.gen {
+		return // the slot was recycled; this event belongs to a dead uop
+	}
+	switch ev.kind {
+	case evExecLoad:
+		c.execLoad(d)
+	case evExecStore:
+		c.execStore(d)
+	case evExecBranch:
+		c.execBranch(d)
+	case evALUComplete:
+		if d.Squashed || d.Executed {
+			return
+		}
+		d.Prod1, d.Prod2 = c.srcProd(d.PSrc1), c.srcProd(d.PSrc2)
+		d.Value = prog.Eval(d.U, c.srcVal(d.PSrc1), c.srcVal(d.PSrc2))
+		c.complete(d)
+	case evComplete:
+		c.complete(d)
+	}
 }
 
 // Run executes until target correct-path uops have committed. It returns the
@@ -185,12 +272,15 @@ func (c *Core) Cycle() {
 	c.cycleCommits = 0
 	c.h.Tick(c.now)
 
-	// Fire core events due this cycle.
+	// Fire core events due this cycle. The slot is truncated, not nilled, so
+	// the backing array is reused; no handler can append to the firing slot
+	// (that would need an event exactly eventWindow cycles out, which
+	// schedule rejects).
 	slot := c.now % eventWindow
 	if evs := c.events[slot]; len(evs) > 0 {
-		c.events[slot] = nil
-		for _, fn := range evs {
-			fn()
+		c.events[slot] = evs[:0]
+		for _, ev := range evs {
+			c.fireEvent(ev)
 		}
 	}
 

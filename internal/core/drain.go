@@ -74,6 +74,11 @@ func (c *Core) normalizeDrained() {
 	}
 	c.racache.Reset()
 	c.lastFetchLine = ^uint64(0)
+	// Scheduler wakeup/select state holds at most stale (squashed or
+	// executed) entries at quiescence; its canonical drained form is empty,
+	// which is also what a restored core starts with — so snapshots carry no
+	// scheduler state at all.
+	c.sched.clear()
 }
 
 // FetchPC returns the address fetch will resume from — after Drain, the next

@@ -57,6 +57,18 @@ type DynInst struct {
 	Value    int64
 	Poisoned bool
 
+	// pendingSrcs counts register sources still awaiting a wakeup broadcast
+	// (event scheduler only; see sched.go). Meaningless after a squash —
+	// stale scheduler entries are dropped lazily.
+	pendingSrcs int8
+
+	// gen is the pool-reuse generation (see Core.newDyn). Every reference
+	// that can outlive the uop's window residency — scheduled events, memory
+	// completion callbacks, lazy scheduler entries — captures gen at creation
+	// and ignores the reference when it no longer matches: the slot has been
+	// recycled for a different dynamic instruction.
+	gen uint64
+
 	// Timing.
 	FetchCycle, IssueCycle, DoneCycle int64
 

@@ -50,18 +50,14 @@ func (c *Core) fetchStage() {
 		}
 
 		c.seq++
-		d := &DynInst{
-			Seq:        c.seq,
-			PC:         c.fetchPC,
-			Index:      c.p.IndexOf(c.fetchPC),
-			U:          u,
-			PDst:       noPhys,
-			PSrc1:      noPhys,
-			PSrc2:      noPhys,
-			POld:       noPhys,
-			FetchCycle: c.now,
-			Runahead:   c.ra.active,
-		}
+		d := c.newDyn()
+		d.Seq = c.seq
+		d.PC = c.fetchPC
+		d.Index = c.p.IndexOf(c.fetchPC)
+		d.U = u
+		d.PDst, d.PSrc1, d.PSrc2, d.POld = noPhys, noPhys, noPhys, noPhys
+		d.FetchCycle = c.now
+		d.Runahead = c.ra.active
 		nextPC := c.fetchPC + isa.UopBytes
 		if u.Op.IsBranch() {
 			d.IsBranch = true
@@ -136,6 +132,16 @@ func (c *Core) redirectFetch(target uint64, penalty int64) {
 	c.fetchGen++
 	c.icacheWait = false
 	c.lastFetchLine = ^uint64(0)
+	c.dropFrontQ()
+}
+
+// dropFrontQ discards the front-end queue, recycling uops that were never
+// dispatched (their only reference is the queue itself).
+func (c *Core) dropFrontQ() {
+	for i, d := range c.frontQ {
+		c.freeDyn(d)
+		c.frontQ[i] = nil
+	}
 	c.frontQ = c.frontQ[:0]
 	c.frontReadyAt = c.frontReadyAt[:0]
 }

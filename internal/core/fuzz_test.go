@@ -136,9 +136,10 @@ func TestFuzzDeterminism(t *testing.T) {
 // FuzzEquivalence is the native fuzz target behind the two tests above: the
 // fuzzer mutates (seed, mode, enhancement bits), each input generating a
 // random program that must commit exactly what the interpreter computes
-// while every structural invariant holds on every cycle. CI runs it briefly
-// (-fuzz FuzzEquivalence -fuzztime 30s); locally it doubles as a regression
-// runner over the seed corpus.
+// while every structural invariant holds on every cycle, and must behave
+// cycle-identically under the event-driven and scan issue schedulers. CI
+// runs it briefly (-fuzz FuzzEquivalence -fuzztime 30s); locally it doubles
+// as a regression runner over the seed corpus.
 func FuzzEquivalence(f *testing.F) {
 	f.Add(int64(1), byte(0), false, false)
 	f.Add(int64(2), byte(1), true, false)
@@ -170,6 +171,19 @@ func FuzzEquivalence(f *testing.F) {
 		if !c.Mem().Equal(in.Mem) {
 			addr, _ := c.Mem().FirstDiff(in.Mem)
 			t.Fatalf("memory differs at %#x", addr)
+		}
+		// Scheduler equivalence: the scan reference must land on the same
+		// cycle with the same architectural state as the event scheduler run.
+		scanCfg := cfg
+		scanCfg.Scheduler = SchedScan
+		sc := New(scanCfg, p)
+		sst := sc.Run(8_000)
+		if sst.Committed != st.Committed || sc.Now() != c.Now() {
+			t.Fatalf("scan scheduler diverged: committed %d at cycle %d, event committed %d at cycle %d",
+				sst.Committed, sc.Now(), st.Committed, c.Now())
+		}
+		if sc.ArchRegs() != regs {
+			t.Fatal("scan scheduler diverged in architectural register state")
 		}
 	})
 }

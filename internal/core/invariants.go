@@ -100,7 +100,94 @@ func (c *Core) checkDeep() error {
 	if err := c.checkPhysRegPartition(); err != nil {
 		return err
 	}
+	if err := c.checkSched(); err != nil {
+		return err
+	}
 	return c.racache.checkIntegrity()
+}
+
+// checkSched verifies the event scheduler's bookkeeping against the ROB, the
+// ground truth both schedulers select from. The load-bearing direction is
+// liveness — a ready uop missing from the ready queue would stall forever
+// under the event scheduler while the scan would have found it — plus exact
+// correspondence of the store-address index (a leaked dead store would block
+// or mis-forward loads).
+func (c *Core) checkSched() error {
+	s := &c.sched
+	if c.cfg.Scheduler == SchedScan {
+		// The scan consults none of these; enroll/broadcast keep them empty.
+		if len(s.readyQ) != 0 || len(s.unknownStores) != 0 || len(s.storeIdx) != 0 {
+			return fmt.Errorf("scan scheduler selected but wakeup structures are populated (readyQ %d, unknownStores %d, storeIdx %d)",
+				len(s.readyQ), len(s.unknownStores), len(s.storeIdx))
+		}
+		return nil
+	}
+	if len(s.deferred) != 0 {
+		return fmt.Errorf("scheduler deferred list holds %d entries between cycles", len(s.deferred))
+	}
+	inReady := make(map[*DynInst]bool, len(s.readyQ))
+	for _, r := range s.readyQ {
+		if r.stale() {
+			continue // recycled slot or dead uop; dropped lazily at pop
+		}
+		if r.d.pendingSrcs != 0 {
+			return fmt.Errorf("seq %d is in the ready queue with %d pending sources", r.seq, r.d.pendingSrcs)
+		}
+		inReady[r.d] = true
+	}
+	inUnknown := make(map[*DynInst]bool, len(s.unknownStores))
+	for _, r := range s.unknownStores {
+		if r.d.gen == r.gen {
+			inUnknown[r.d] = true
+		}
+	}
+	idxStores := 0
+	//simlint:allow determinism -- order-insensitive validation scan
+	for b, bucket := range s.storeIdx {
+		for _, st := range bucket {
+			idxStores++
+			if st.Squashed {
+				return fmt.Errorf("store index bucket %#x holds squashed seq %d", b, st.Seq)
+			}
+			if !st.EAValid || st.EA>>3 != b {
+				return fmt.Errorf("store index bucket %#x holds seq %d with EA %#x (valid %v)", b, st.Seq, st.EA, st.EAValid)
+			}
+		}
+	}
+	robStores := 0
+	for i := 0; i < c.rob.size(); i++ {
+		d := c.rob.at(i)
+		if d.Squashed {
+			continue
+		}
+		if d.Renamed && !d.Issued && !d.Executed && c.srcReady(d.PSrc1) && c.srcReady(d.PSrc2) && !inReady[d] {
+			return fmt.Errorf("lost wakeup: seq %d (%v) has ready sources but is not in the ready queue", d.Seq, d.U.Op)
+		}
+		if d.U.Op.IsStore() {
+			if d.EAValid {
+				robStores++
+			} else if !d.Poisoned && !inUnknown[d] {
+				return fmt.Errorf("store seq %d has no address yet but is missing from the unknown-store heap", d.Seq)
+			}
+		}
+	}
+	if robStores != idxStores {
+		return fmt.Errorf("store index holds %d entries, but the ROB holds %d addressed stores", idxStores, robStores)
+	}
+	for p := range s.waiters {
+		for _, w := range s.waiters[p] {
+			if w.stale() {
+				continue
+			}
+			if c.srcReady(PhysReg(p)) {
+				return fmt.Errorf("seq %d still waits on phys reg %d, which is ready", w.seq, p)
+			}
+			if w.d.pendingSrcs <= 0 {
+				return fmt.Errorf("seq %d waits on phys reg %d with pending count %d", w.seq, p, w.d.pendingSrcs)
+			}
+		}
+	}
+	return nil
 }
 
 // checkPhysRegPartition verifies that {RAT mappings} ∪ {free list} ∪

@@ -109,6 +109,12 @@ func (c *Core) tryEnterRunahead(d *DynInst) {
 	c.ra.active = true
 	c.ra.usingBuffer = useBuffer
 	c.ra.pendingExit = false
+	// Entering runahead IS forward progress for watchdog purposes: the stall
+	// so far was a legal DRAM-bound wait, and pseudo-retirement (which also
+	// advances lastProgress) may take a few more cycles to start. Without
+	// this, a long legal stall followed by a legal runahead interval could
+	// trip a small WatchdogCycles budget mid-interval.
+	c.lastProgress = c.now
 	c.ra.blockingSeq = d.Seq
 	c.ra.blockingPC = d.PC
 	c.ra.entryCycle = c.now
@@ -253,15 +259,18 @@ func (c *Core) exitRunahead() {
 		c.ra.haveFurthestReach = true
 	}
 
-	// Flush everything speculative.
+	// Flush everything speculative, including the scheduler's ready queue,
+	// waiter lists, and store-address index — nothing in them survives the
+	// wholesale restore.
 	for c.rob.size() > 0 {
 		t := c.rob.popTail()
 		t.Squashed = true
+		c.freeDyn(t)
 	}
 	c.rob.clear()
+	c.sched.clear()
 	c.rsCount, c.lqCount, c.sqCount = 0, 0, 0
-	c.frontQ = c.frontQ[:0]
-	c.frontReadyAt = c.frontReadyAt[:0]
+	c.dropFrontQ()
 
 	// Restore architectural register state into the identity mapping.
 	c.ren.reset(c.cfg.NumPhysRegs)

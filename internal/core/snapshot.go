@@ -130,9 +130,14 @@ func (s *Stats) Merge(o *Stats) {
 
 // configFingerprint digests the full configuration. Config is maps-free, so
 // the %+v rendering is deterministic, and any parameter difference — pipeline
-// widths, cache geometry, runahead mode — changes the digest.
+// widths, cache geometry, runahead mode — changes the digest. The Scheduler
+// field is zeroed first: scheduler kinds differ only in simulator speed, never
+// in simulated behavior, so snapshots taken under either kind interoperate
+// (and the equivalence tests compare digests across kinds directly).
 func (c *Core) configFingerprint() uint64 {
-	return snapshot.HashString(fmt.Sprintf("%+v", c.cfg))
+	cfg := c.cfg
+	cfg.Scheduler = SchedEvent
+	return snapshot.HashString(fmt.Sprintf("%+v", cfg))
 }
 
 // Snapshot serializes the whole machine into a self-verifying container. The

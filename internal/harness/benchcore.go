@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/snapshot"
+	"runaheadsim/internal/workload"
+)
+
+// This file benchmarks the cycle kernel itself: the event-driven
+// wakeup/select scheduler (core.SchedEvent) against the reference ROB scan
+// (core.SchedScan), on the memory-bound workloads whose large in-flight
+// windows the scan is worst at. Every timed pair doubles as an equivalence
+// check — both runs must finish on the same cycle and serialize to
+// byte-identical machine snapshots — so the speedup number can never come
+// from a behavioral shortcut. cmd/runahead-sweep's -bench-core flag writes
+// the result to BENCH_core.json; `make bench-core` is the canonical
+// invocation.
+
+// BenchCoreModes are the three systems the kernel benchmark exercises:
+// the baseline and the paper's two runahead-buffer flavors.
+func BenchCoreModes() []core.Mode {
+	return []core.Mode{core.ModeNone, core.ModeBuffer, core.ModeBufferCC}
+}
+
+// DefaultBenchCoreBenches is the memory-bound subset the kernel benchmark
+// defaults to: high-intensity workloads with distinct access shapes (pointer
+// chase, irregular gather, tree walk, stream).
+func DefaultBenchCoreBenches() []string {
+	return []string{"mcf", "milc", "omnetpp", "libquantum"}
+}
+
+// BenchCoreRun is one (benchmark, mode) timing pair.
+type BenchCoreRun struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+
+	SimCycles int64  `json:"sim_cycles"`
+	Committed uint64 `json:"committed_uops"`
+
+	ScanSec  float64 `json:"scan_wall_sec"`
+	EventSec float64 `json:"event_wall_sec"`
+
+	ScanCyclesPerSec  float64 `json:"scan_sim_cycles_per_sec"`
+	EventCyclesPerSec float64 `json:"event_sim_cycles_per_sec"`
+	Speedup           float64 `json:"speedup"`
+
+	// SnapshotDigest is the FNV digest of the drained machine snapshot —
+	// verified identical between the two scheduler runs before reporting.
+	SnapshotDigest string `json:"snapshot_digest"`
+}
+
+// BenchCoreReport is the BENCH_core.json schema.
+type BenchCoreReport struct {
+	MeasureUops    uint64         `json:"measure_uops"`
+	Runs           []BenchCoreRun `json:"runs"`
+	GeomeanSpeedup float64        `json:"geomean_speedup"`
+}
+
+// BenchCore times every (benchmark, mode) pair under both schedulers and
+// verifies their equivalence. Benches nil selects the memory-bound default
+// set; uops 0 selects 300k measured uops per run.
+func BenchCore(benches []string, uops uint64) (*BenchCoreReport, error) {
+	if len(benches) == 0 {
+		benches = DefaultBenchCoreBenches()
+	}
+	if uops == 0 {
+		uops = 300_000
+	}
+	rep := &BenchCoreReport{MeasureUops: uops}
+	logSpeedupSum := 0.0
+	for _, bench := range benches {
+		p, err := workload.Load(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range BenchCoreModes() {
+			timed := func(kind core.SchedulerKind) (sec float64, c *core.Core, snap []byte, err error) {
+				cfg := core.DefaultConfig()
+				cfg.Mode = mode
+				cfg.Scheduler = kind
+				c = core.New(cfg, p)
+				runtime.GC() // keep allocator state comparable across the pair
+				//simlint:allow determinism -- wall-clock timing is the measurement here, not simulated state
+				t0 := time.Now()
+				c.Run(uops)
+				sec = time.Since(t0).Seconds()
+				if err = c.Drain(); err != nil {
+					return 0, nil, nil, fmt.Errorf("%s/%v/%v: %w", bench, mode, kind, err)
+				}
+				snap, err = c.Snapshot()
+				if err != nil {
+					return 0, nil, nil, fmt.Errorf("%s/%v/%v: %w", bench, mode, kind, err)
+				}
+				return sec, c, snap, nil
+			}
+			scanSec, scanCore, scanSnap, err := timed(core.SchedScan)
+			if err != nil {
+				return nil, err
+			}
+			eventSec, eventCore, eventSnap, err := timed(core.SchedEvent)
+			if err != nil {
+				return nil, err
+			}
+			if eventCore.Now() != scanCore.Now() {
+				return nil, fmt.Errorf("%s/%v: schedulers diverged — event finished at cycle %d, scan at %d",
+					bench, mode, eventCore.Now(), scanCore.Now())
+			}
+			if !bytes.Equal(eventSnap, scanSnap) {
+				return nil, fmt.Errorf("%s/%v: schedulers diverged — machine snapshots differ (%d vs %d bytes)",
+					bench, mode, len(eventSnap), len(scanSnap))
+			}
+			cycles := eventCore.Stats().Cycles
+			run := BenchCoreRun{
+				Bench:             bench,
+				Mode:              mode.String(),
+				SimCycles:         cycles,
+				Committed:         eventCore.Stats().Committed,
+				ScanSec:           scanSec,
+				EventSec:          eventSec,
+				ScanCyclesPerSec:  float64(cycles) / scanSec,
+				EventCyclesPerSec: float64(cycles) / eventSec,
+				Speedup:           scanSec / eventSec,
+				SnapshotDigest:    fmt.Sprintf("%016x", snapshot.HashBytes(eventSnap)),
+			}
+			logSpeedupSum += math.Log(run.Speedup)
+			rep.Runs = append(rep.Runs, run)
+		}
+	}
+	rep.GeomeanSpeedup = math.Exp(logSpeedupSum / float64(len(rep.Runs)))
+	return rep, nil
+}

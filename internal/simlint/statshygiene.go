@@ -12,9 +12,17 @@ import (
 // registering constructor (stats.NewHistogram, stats.NewSet,
 // stats.NewTimeline). The stats package itself — where the constructors
 // live — is exempt.
+//
+// It also enforces stat ownership: core.Stats counters are mutable only
+// inside the core package. Core.Stats() hands out a live pointer so callers
+// can read results cheaply, but a write through it from outside — a harness
+// "adjusting" a counter, a test fudging a baseline — silently corrupts the
+// numbers every downstream table is built from. The scheduler rewrite moved
+// counter bumps around (issue accounting now lives in the shared issue()
+// path); this rule pins where such bumps are ever allowed to live.
 var StatsHygiene = &Analyzer{
 	Name: "statshygiene",
-	Doc:  "stats objects must be built with their registering constructors",
+	Doc:  "stats objects must be built with their registering constructors; core.Stats fields are written only by core",
 	Run:  runStatsHygiene,
 }
 
@@ -30,9 +38,26 @@ func runStatsHygiene(pass *Pass) {
 	if pass.Types.Name() == "stats" {
 		return
 	}
+	ownStats := pass.Types.Name() == "core"
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if ownStats {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if field, ok := coreStatsField(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(), "write to core.Stats field %s outside the core package: counters are owned by the simulation kernel; read them, don't adjust them", field)
+					}
+				}
+			case *ast.IncDecStmt:
+				if ownStats {
+					return true
+				}
+				if field, ok := coreStatsField(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "write to core.Stats field %s outside the core package: counters are owned by the simulation kernel; read them, don't adjust them", field)
+				}
 			case *ast.CompositeLit:
 				if name, ctor, ok := statsType(pass.Info.TypeOf(n)); ok {
 					pass.Reportf(n.Pos(), "bare stats.%s literal: construct it with %s, which validates and registers the instance", name, ctor)
@@ -78,6 +103,31 @@ func statsType(t types.Type) (name, ctor string, ok bool) {
 		t = p.Elem()
 	}
 	return statsValueType(t)
+}
+
+// coreStatsField reports whether e selects a field of core.Stats (through a
+// value or pointer), returning the field name.
+func coreStatsField(pass *Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "core" || obj.Name() != "Stats" {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
 // statsValueType matches only the value form T.

@@ -42,6 +42,54 @@ var suppressed = stats.Histogram{}
 	})
 }
 
+// TestStatsHygieneCoreStatsOwnership checks the stat-ownership rule:
+// core.Stats counters may be written only inside the core package — reads
+// through the live pointer Core.Stats() returns are fine anywhere.
+func TestStatsHygieneCoreStatsOwnership(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/core": {"core.go": `package core
+
+type Stats struct {
+	Issued   uint64
+	PRFReads uint64
+}
+
+type Core struct{ st *Stats }
+
+func (c *Core) Stats() *Stats { return c.st }
+
+func (c *Core) issue() { c.st.Issued++ }
+`},
+		"fix/internal/harness": {"harness.go": `package harness
+
+import "fix/internal/core"
+
+func tally(c *core.Core) uint64 {
+	st := c.Stats()
+	st.Issued++
+	st.PRFReads += 2
+	st.Issued = 0
+	n := st.Issued
+	//simlint:allow statshygiene -- suppression under test
+	st.PRFReads = 1
+	return n
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/harness", StatsHygiene)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{7, "core.Stats field Issued"},
+		{8, "core.Stats field PRFReads"},
+		{9, "core.Stats field Issued"},
+	})
+	if d := runFixture(t, fixture, "fix/internal/core", StatsHygiene); len(d) != 0 {
+		t.Fatalf("core package writes its own counters and should be exempt, got %v", d)
+	}
+}
+
 // TestStatsHygieneExemptsStatsPackage checks the constructors' own package
 // may build literals.
 func TestStatsHygieneExemptsStatsPackage(t *testing.T) {
