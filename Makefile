@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench bench-core bench-go sweep report examples clean
+.PHONY: test vet lint check bench bench-core bench-mem bench-go sweep report examples clean
 
 test:
 	go test ./...
@@ -37,6 +37,15 @@ bench:
 bench-core:
 	go run ./cmd/runahead-sweep -bench-core BENCH_core.json
 
+# Benchmark the memory system + clock: the event-driven hierarchy with
+# whole-simulator stall skipping (ClockWarp) vs the per-cycle reference
+# (ClockTick) on the memory-bound workloads, each pair verified to finish on
+# the same cycle with byte-identical snapshots (hence zero IPC deviation).
+# Writes BENCH_mem.json (see DESIGN.md, "Event-driven memory system and the
+# clock warp").
+bench-mem:
+	go run ./cmd/runahead-sweep -uops 300000 -bench-mem BENCH_mem.json
+
 # One scaled-down benchmark per paper table/figure, plus ablations.
 bench-go:
 	go test -bench . -benchtime 1x .
@@ -56,4 +65,4 @@ examples:
 	go run ./examples/energy_tradeoff
 
 clean:
-	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json
+	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json BENCH_mem.json

@@ -224,19 +224,19 @@ func TestMSHRMergeSemantics(t *testing.T) {
 		t.Fatal("prefetch allocation must be marked")
 	}
 	called := 0
-	f.Merge(m, true, func(int64) { called++ })
+	f.Merge(m, true, Waiter{Done: func(Outcome) { called++ }})
 	if m.Prefetch {
 		t.Fatal("demand merge must convert a prefetch MSHR")
 	}
 	if !m.DemandMerged {
 		t.Fatal("demand merge must record lateness")
 	}
-	f.Merge(m, false, nil)
+	f.Merge(m, false, Waiter{})
 	if len(m.Waiters) != 1 {
 		t.Fatalf("waiters = %d, want 1", len(m.Waiters))
 	}
 	for _, w := range m.Waiters {
-		w(0)
+		w.Done(Outcome{})
 	}
 	if called != 1 {
 		t.Fatal("waiter not invoked")

@@ -1,5 +1,49 @@
 package cache
 
+// Level is the deepest hierarchy level an access had to reach. It lives here
+// (rather than in memsys, which re-exports it) so MSHR waiter callbacks can
+// receive a fully-formed Outcome without an adapter closure per miss.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelLLC
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelLLC:
+		return "LLC"
+	default:
+		return "Mem"
+	}
+}
+
+// Outcome reports the completion of an access. Line is the line address the
+// access resolved to — callers that share one completion callback across all
+// their outstanding accesses (the core's I-fetch path) use it to tell which
+// access finished instead of capturing that state in a per-access closure.
+type Outcome struct {
+	When  int64
+	Level Level
+	Line  uint64
+}
+
+// Waiter is one completion callback attached to an MSHR. The fill loop
+// constructs the Outcome (it knows the cycle, the fill level, and the line),
+// so requesters append their completion function directly — the dominant
+// demand-miss paths allocate no adapter closure. MarkDirty tags store
+// waiters: the owner dirties the filled line before invoking Done.
+type Waiter struct {
+	Done      func(Outcome)
+	MarkDirty bool
+}
+
 // MSHRFile tracks outstanding misses for one cache level. Requests to a line
 // that already has an entry merge into it instead of issuing a duplicate
 // fill, which is also how runahead's extra loads to already-missing lines
@@ -22,13 +66,17 @@ type MSHRFile struct {
 	// CheckConservation.
 	allocTotal    uint64
 	completeTotal uint64
+
+	// free holds recycled entries (see Recycle); their waiter-list backing
+	// arrays are kept so steady-state misses allocate nothing.
+	free []*MSHR
 }
 
 // MSHR is one outstanding line fill.
 type MSHR struct {
 	LineAddr uint64
-	// Waiters are completion callbacks invoked with the fill cycle.
-	Waiters []func(cycle int64)
+	// Waiters are completion callbacks invoked at fill with the outcome.
+	Waiters []Waiter
 	// Prefetch is true while the fill is owed only to prefetch requests; a
 	// demand merge clears it (late prefetch).
 	Prefetch bool
@@ -71,7 +119,15 @@ func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
 		f.Full++
 		return nil
 	}
-	m := &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
+	var m *MSHR
+	if n := len(f.free); n > 0 {
+		m = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		m.LineAddr, m.Prefetch = lineAddr, prefetch
+	} else {
+		m = &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
+	}
 	f.entries[lineAddr] = m
 	f.Allocs++
 	f.allocTotal++
@@ -83,8 +139,8 @@ func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
 
 // Merge attaches a waiter to an existing entry. A demand merge into a
 // prefetch entry converts it and records the lateness.
-func (f *MSHRFile) Merge(m *MSHR, demand bool, waiter func(int64)) {
-	if waiter != nil {
+func (f *MSHRFile) Merge(m *MSHR, demand bool, waiter Waiter) {
+	if waiter.Done != nil {
 		m.Waiters = append(m.Waiters, waiter)
 	}
 	if demand && m.Prefetch {
@@ -103,6 +159,22 @@ func (f *MSHRFile) Complete(lineAddr uint64) *MSHR {
 	delete(f.entries, lineAddr)
 	f.completeTotal++
 	return m
+}
+
+// Recycle returns a completed entry to the allocation pool. The caller must
+// be done with every reference to m — waiters run, fill level inspected —
+// because the next Allocate may hand the same entry out again. Callback slots
+// are nil-ed so recycled lists don't retain dead closures, but the backing
+// arrays survive for reuse.
+func (f *MSHRFile) Recycle(m *MSHR) {
+	for i := range m.Waiters {
+		m.Waiters[i] = Waiter{}
+	}
+	for i := range m.EarlyMiss {
+		m.EarlyMiss[i] = nil
+	}
+	*m = MSHR{Waiters: m.Waiters[:0], EarlyMiss: m.EarlyMiss[:0]}
+	f.free = append(f.free, m)
 }
 
 // Outstanding returns the number of in-flight entries.

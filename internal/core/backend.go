@@ -15,15 +15,14 @@ func (c *Core) renameStage() {
 		return
 	}
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.frontQ) == 0 || c.frontReadyAt[0] > c.now {
+		if c.frontLen() == 0 || c.frontReadyAt[c.frontHead] > c.now {
 			return
 		}
-		d := c.frontQ[0]
+		d := c.frontQ[c.frontHead]
 		if !c.canDispatch(d.U) {
 			return
 		}
-		c.frontQ = c.frontQ[1:]
-		c.frontReadyAt = c.frontReadyAt[1:]
+		c.frontPop()
 		c.dispatch(d)
 	}
 }
@@ -91,6 +90,7 @@ func (c *Core) dispatch(d *DynInst) {
 	}
 	c.rob.push(d)
 	c.traceDispatch(d)
+	c.cycleRenamed++
 	d.Renamed = true
 	c.enroll(d)
 	c.rsCount++
@@ -124,6 +124,7 @@ func (c *Core) issue(d *DynInst) {
 	d.IssueCycle = c.now
 	c.rsCount--
 	c.st.Issued++
+	c.cycleIssued++
 	// PRF read energy: one read per register source actually named. Uops
 	// with zero or one source (immediates, moves, branches on one register)
 	// previously over-counted at a flat two reads per issue.
@@ -371,6 +372,22 @@ func (c *Core) execLoad(d *DynInst) {
 	value := c.mem.Read64(d.EA)
 	noWait := c.ra.active
 	if d.memIssued {
+		return
+	}
+	// Fast path: an L1D hit needs no hierarchy callbacks at all. The hierarchy
+	// counts the access, the core stamps the outcome and schedules its own
+	// typed completion at the L1 latency — the closure pair below is built
+	// only for misses, where it earns its keep. (A hit can never be runahead's
+	// DRAM-bound blocking load, so the exit check in the miss path's callback
+	// has no analogue here.)
+	if c.h.LoadHit(d.EA) {
+		d.Value = value
+		d.MemLevel = memsys.LevelL1
+		c.schedule(c.now+int64(c.cfg.Mem.L1Latency), evComplete, d)
+		d.memIssued = true
+		if d.Runahead {
+			c.st.RunaheadLoads++
+		}
 		return
 	}
 	// The callbacks below can fire long after d has left the machine and its

@@ -92,6 +92,37 @@ func (k SchedulerKind) String() string {
 	}
 }
 
+// ClockMode selects how the simulation clock advances. Both modes produce
+// identical simulated behavior — final cycle count, statistics, and snapshot
+// bytes — which the clock-warp lockstep tests enforce; only simulator speed
+// differs.
+type ClockMode uint8
+
+const (
+	// ClockWarp fast-forwards the clock across provably idle stretches
+	// (warp.go): when every pipeline stage is quiescent at the end of a
+	// cycle, the clock jumps to the next cycle at which anything can happen
+	// (memory-system event horizon, core event wheel, runahead retry,
+	// front-end timers), attributing the skipped span to the same stall
+	// buckets the per-cycle loop would have. The default.
+	ClockWarp ClockMode = iota
+	// ClockTick advances one cycle at a time — the reference the equivalence
+	// tests compare against.
+	ClockTick
+)
+
+// String implements fmt.Stringer.
+func (m ClockMode) String() string {
+	switch m {
+	case ClockWarp:
+		return "warp"
+	case ClockTick:
+		return "tick"
+	default:
+		return "unknown"
+	}
+}
+
 // Config holds every core parameter. DefaultConfig reproduces Table 1.
 type Config struct {
 	// Pipeline widths (Table 1: 4-wide issue).
@@ -115,6 +146,12 @@ type Config struct {
 	// SchedEvent. Excluded from the snapshot configuration fingerprint so
 	// snapshots from either kind interoperate.
 	Scheduler SchedulerKind
+
+	// ClockMode selects how the simulation clock advances (simulator speed
+	// only; simulated behavior is identical across modes). The zero value is
+	// ClockWarp. Excluded from the snapshot configuration fingerprint so
+	// snapshots from either mode interoperate.
+	ClockMode ClockMode
 
 	// Runahead policy.
 	Mode Mode

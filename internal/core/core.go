@@ -29,11 +29,14 @@ const (
 
 // coreEvent is one scheduled core-internal event. gen snapshots the uop's
 // pool generation at schedule time; a mismatch at fire time means the slot
-// was recycled and the event is dead.
+// was recycled and the event is dead. at is the cycle the event is due;
+// Cycle verifies it on dispatch — a mismatch means the warped clock jumped
+// over a due event, which the warp's target computation must make impossible.
 type coreEvent struct {
 	kind evKind
 	d    *DynInst
 	gen  uint64
+	at   int64
 }
 
 // Core is the simulated processor: one out-of-order core attached to the
@@ -60,22 +63,29 @@ type Core struct {
 	// Front end.
 	fetchPC         uint64
 	fetchStallUntil int64
-	fetchGen        uint64 // bumped on redirects so stale I-fetch callbacks are ignored
+	fetchGen        uint64 // bumped on redirects (snapshot/debug epoch marker)
 	icacheWait      bool
+	fetchWaitLine   uint64 // line the live outstanding I-fetch is waiting on
 	lastFetchLine   uint64
 	frontQ          []*DynInst // fetched & decoding; ready for rename at readyAt
 	frontReadyAt    []int64
+	frontHead       int // index of the queue head (see frontPop)
 
 	// Back end occupancy.
 	rsCount  int
 	lqCount  int
 	sqCount  int
 	storeBuf []sbEntry
+	sbHead   int
 
 	// Core-internal scheduled events (completions, replays). Slots are
 	// reused in place: firing truncates to length zero, keeping the backing
-	// arrays warm.
-	events [eventWindow][]coreEvent
+	// arrays warm. pendingCoreEvents counts events in the wheel (including
+	// ones whose uop died; they still fire and no-op) so the clock warp can
+	// skip the slot scan entirely when the wheel is empty.
+	events            [eventWindow][]coreEvent
+	pendingCoreEvents int
+	nextCoreEvCache   int64 // lower bound on the earliest pending event's cycle
 
 	// Event-driven wakeup/select scheduler state (see sched.go). Always
 	// allocated; under SchedScan only the store-address index is bypassed and
@@ -118,6 +128,22 @@ type Core struct {
 	branchRecoverUntil int64 // redirect+refill shadow of the last misprediction
 	raRecoverUntil     int64 // flush+refill shadow of the last runahead exit
 
+	// Clock-warp signals (warp.go). cycleIssued/cycleRenamed gate the
+	// quiescence detector; warps/warpedCycles count its work for reporting
+	// and deliberately live outside Stats so snapshot bytes stay identical
+	// across clock modes.
+	cycleIssued  int // uops issued this cycle
+	cycleRenamed int // uops renamed/dispatched this cycle
+	warps        int64
+	warpedCycles int64
+
+	// Shared memory-system callbacks, built once in New. The store buffer
+	// drains in order with one inflight write, and the I-fetch wait is
+	// identified by (icacheWait, fetchWaitLine) rather than a captured
+	// generation — so neither needs a per-request closure.
+	storeDone func(memsys.Outcome)
+	fetchDone func(memsys.Outcome)
+
 	// draining gates the fetch stage while Drain runs the machine to
 	// quiescence for a snapshot.
 	draining bool
@@ -137,6 +163,11 @@ func New(cfg Config, p *prog.Program) *Core {
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invalid program: %v", err))
 	}
+	// The per-cycle reference kernel keeps the seed's per-cycle DRAM grant
+	// scan, so the equivalence suite compares two independently computed
+	// readiness schedules (horizon vs. exhaustive scan), not one fast path
+	// against itself.
+	cfg.Mem.DRAM.Reference = cfg.ClockMode == ClockTick
 	c := &Core{
 		cfg:     cfg,
 		p:       p,
@@ -160,6 +191,19 @@ func New(cfg Config, p *prog.Program) *Core {
 		c.dep = newDepTracker()
 	}
 	c.lastFetchLine = ^uint64(0)
+	c.storeDone = func(memsys.Outcome) { c.sbPop() }
+	c.fetchDone = func(o memsys.Outcome) {
+		// A stale fill (for a fetch the front end was redirected away from)
+		// either finds icacheWait already clear or names a different line;
+		// only the live wait matches both. A redirect straight back to the
+		// same still-missing line merges into the same MSHR, so the stale and
+		// live callbacks fire on the same cycle and the early clear is
+		// indistinguishable from the live one.
+		if c.icacheWait && o.Line == c.fetchWaitLine {
+			c.icacheWait = false
+			c.lastFetchLine = o.Line
+		}
+	}
 	return c
 }
 
@@ -220,7 +264,32 @@ func (c *Core) schedule(at int64, kind evKind, d *DynInst) {
 		panic("core: event scheduled beyond the event window")
 	}
 	slot := at % eventWindow
-	c.events[slot] = append(c.events[slot], coreEvent{kind: kind, d: d, gen: d.gen})
+	c.events[slot] = append(c.events[slot], coreEvent{kind: kind, d: d, gen: d.gen, at: at})
+	if c.pendingCoreEvents == 0 || at < c.nextCoreEvCache {
+		c.nextCoreEvCache = at
+	}
+	c.pendingCoreEvents++
+}
+
+// nextCoreEventAt returns the cycle of the earliest scheduled core event, or
+// memsys.Never when the wheel is empty. Every slot holds events for exactly
+// one future cycle (schedule bounds at-now to the window), so the first
+// non-empty slot going forward is the answer. nextCoreEvCache keeps the call
+// O(1) on the warp's hot path: schedule maintains it as the running minimum,
+// and it only goes stale (pointing at an already-fired cycle) when the
+// minimum event fires — the one case that pays for a wheel scan to refresh
+// it. Only the warp calls this, and only when pendingCoreEvents > 0.
+func (c *Core) nextCoreEventAt() int64 {
+	if c.nextCoreEvCache > c.now {
+		return c.nextCoreEvCache
+	}
+	for dt := int64(1); dt < eventWindow; dt++ {
+		if len(c.events[(c.now+dt)%eventWindow]) > 0 {
+			c.nextCoreEvCache = c.now + dt
+			return c.now + dt
+		}
+	}
+	return memsys.Never
 }
 
 // fireEvent dispatches one typed event. ALU results are computed here rather
@@ -270,6 +339,8 @@ func (c *Core) Run(target uint64) *Stats {
 func (c *Core) Cycle() {
 	c.now++
 	c.cycleCommits = 0
+	c.cycleIssued = 0
+	c.cycleRenamed = 0
 	c.h.Tick(c.now)
 
 	// Fire core events due this cycle. The slot is truncated, not nilled, so
@@ -279,7 +350,11 @@ func (c *Core) Cycle() {
 	slot := c.now % eventWindow
 	if evs := c.events[slot]; len(evs) > 0 {
 		c.events[slot] = evs[:0]
+		c.pendingCoreEvents -= len(evs)
 		for _, ev := range evs {
+			if ev.at != c.now {
+				panic(fmt.Sprintf("core: event due at cycle %d fired at cycle %d (clock warped over a due event)", ev.at, c.now))
+			}
 			c.fireEvent(ev)
 		}
 	}
@@ -316,7 +391,16 @@ func (c *Core) Cycle() {
 	if c.onCycle != nil {
 		c.onCycle()
 	}
+
+	if c.cfg.ClockMode == ClockWarp {
+		c.maybeWarp()
+	}
 }
+
+// WarpStats reports the clock warp's work: how many warps fired and how many
+// cycles they skipped. Deliberately not part of Stats (and not serialized):
+// both clock modes must produce bit-identical statistics and snapshots.
+func (c *Core) WarpStats() (warps, skipped int64) { return c.warps, c.warpedCycles }
 
 // dump renders a short machine state summary for panics and debugging.
 func (c *Core) dump() string {

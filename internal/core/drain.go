@@ -18,10 +18,10 @@ const drainBound = 10_000_000
 // fully drained memory hierarchy. Only a quiesced core can be snapshotted —
 // in-flight work is closures, which have no wire representation.
 func (c *Core) Quiesced() bool {
-	if c.rob.size() != 0 || len(c.frontQ) != 0 || c.rsCount != 0 || c.lqCount != 0 || c.sqCount != 0 {
+	if c.rob.size() != 0 || c.frontLen() != 0 || c.rsCount != 0 || c.lqCount != 0 || c.sqCount != 0 {
 		return false
 	}
-	if len(c.storeBuf) != 0 || c.ra.active || c.icacheWait {
+	if c.sbLen() != 0 || c.ra.active || c.icacheWait {
 		return false
 	}
 	for i := range c.events {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runaheadsim/internal/isa"
-	"runaheadsim/internal/memsys"
 )
 
 // frontQCap bounds the fetch/decode queue.
@@ -23,7 +22,7 @@ func (c *Core) fetchStage() {
 		return
 	}
 	fetched := 0
-	for fetched < c.cfg.FetchWidth && len(c.frontQ) < frontQCap {
+	for fetched < c.cfg.FetchWidth && c.frontLen() < frontQCap {
 		u := c.p.UopAt(c.fetchPC)
 		if u == nil {
 			// Wrong-path fetch ran off valid text; wait for a redirect.
@@ -35,14 +34,13 @@ func (c *Core) fetchStage() {
 				c.h.L1I().Lookup(line) // count the hit, refresh LRU
 				c.lastFetchLine = line
 			} else {
+				// c.fetchDone is one shared callback; it matches the fill's
+				// line against fetchWaitLine (and the icacheWait gate) instead
+				// of capturing a per-fetch generation, so no closure is
+				// allocated per I-miss.
 				c.icacheWait = true
-				gen := c.fetchGen
-				if !c.h.Fetch(c.now, line, func(memsys.Outcome) {
-					if gen == c.fetchGen {
-						c.icacheWait = false
-						c.lastFetchLine = line
-					}
-				}) {
+				c.fetchWaitLine = line
+				if !c.h.Fetch(c.now, line, c.fetchDone) {
 					c.icacheWait = false // MSHR full; retry next cycle
 				}
 				break
@@ -135,13 +133,43 @@ func (c *Core) redirectFetch(target uint64, penalty int64) {
 	c.dropFrontQ()
 }
 
+// frontLen returns the number of uops in the fetch/decode queue.
+func (c *Core) frontLen() int { return len(c.frontQ) - c.frontHead }
+
+// frontPop removes the queue head. The queue is a moving-head slice, like
+// memsys' reqRing: popping `q = q[1:]` would both keep every renamed uop
+// reachable through the backing array's dead prefix and force append to
+// reallocate once per window of throughput. The popped slot is nil-ed and the
+// live window (at most frontQCap entries) is copied down before the head can
+// run away, so steady state allocates nothing.
+func (c *Core) frontPop() {
+	c.frontQ[c.frontHead] = nil
+	c.frontHead++
+	switch {
+	case c.frontHead == len(c.frontQ):
+		c.frontQ = c.frontQ[:0]
+		c.frontReadyAt = c.frontReadyAt[:0]
+		c.frontHead = 0
+	case c.frontHead >= 2*frontQCap:
+		n := copy(c.frontQ, c.frontQ[c.frontHead:])
+		for i := n; i < len(c.frontQ); i++ {
+			c.frontQ[i] = nil
+		}
+		c.frontQ = c.frontQ[:n]
+		copy(c.frontReadyAt, c.frontReadyAt[c.frontHead:])
+		c.frontReadyAt = c.frontReadyAt[:n]
+		c.frontHead = 0
+	}
+}
+
 // dropFrontQ discards the front-end queue, recycling uops that were never
 // dispatched (their only reference is the queue itself).
 func (c *Core) dropFrontQ() {
-	for i, d := range c.frontQ {
-		c.freeDyn(d)
+	for i := c.frontHead; i < len(c.frontQ); i++ {
+		c.freeDyn(c.frontQ[i])
 		c.frontQ[i] = nil
 	}
 	c.frontQ = c.frontQ[:0]
 	c.frontReadyAt = c.frontReadyAt[:0]
+	c.frontHead = 0
 }

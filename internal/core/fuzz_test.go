@@ -137,7 +137,8 @@ func TestFuzzDeterminism(t *testing.T) {
 // fuzzer mutates (seed, mode, enhancement bits), each input generating a
 // random program that must commit exactly what the interpreter computes
 // while every structural invariant holds on every cycle, and must behave
-// cycle-identically under the event-driven and scan issue schedulers. CI
+// cycle-identically under the event-driven and scan issue schedulers and
+// under the warped and per-cycle clocks. CI
 // runs it briefly (-fuzz FuzzEquivalence -fuzztime 30s); locally it doubles
 // as a regression runner over the seed corpus.
 func FuzzEquivalence(f *testing.F) {
@@ -184,6 +185,24 @@ func FuzzEquivalence(f *testing.F) {
 		}
 		if sc.ArchRegs() != regs {
 			t.Fatal("scan scheduler diverged in architectural register state")
+		}
+		// Clock equivalence: the per-cycle reference must land on the same
+		// cycle with the same architectural state as the warped run (the
+		// primary run above uses the default ClockWarp).
+		tickCfg := cfg
+		tickCfg.ClockMode = ClockTick
+		tc := New(tickCfg, p)
+		tst := tc.Run(8_000)
+		if tst.Committed != st.Committed || tc.Now() != c.Now() {
+			t.Fatalf("tick clock diverged: committed %d at cycle %d, warp committed %d at cycle %d",
+				tst.Committed, tc.Now(), st.Committed, c.Now())
+		}
+		if tc.ArchRegs() != regs {
+			t.Fatal("tick clock diverged in architectural register state")
+		}
+		if tc.Stats().CPIStackSum() != c.Stats().CPIStackSum() {
+			t.Fatalf("tick clock diverged in CPI accounting: tick %d, warp %d",
+				tc.Stats().CPIStackSum(), c.Stats().CPIStackSum())
 		}
 	})
 }

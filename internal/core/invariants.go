@@ -89,8 +89,8 @@ func (c *Core) checkFast() error {
 		return fmt.Errorf("free-list conservation broken: %d free + %d mapped + %d held as POld = %d, want %d phys regs",
 			len(c.ren.free), isa.NumArchRegs, polds, got, c.cfg.NumPhysRegs)
 	}
-	if len(c.storeBuf) > c.cfg.StoreBufSize {
-		return fmt.Errorf("store buffer holds %d entries, capacity %d", len(c.storeBuf), c.cfg.StoreBufSize)
+	if c.sbLen() > c.cfg.StoreBufSize {
+		return fmt.Errorf("store buffer holds %d entries, capacity %d", c.sbLen(), c.cfg.StoreBufSize)
 	}
 	return nil
 }
@@ -125,13 +125,28 @@ func (c *Core) checkSched() error {
 	if len(s.deferred) != 0 {
 		return fmt.Errorf("scheduler deferred list holds %d entries between cycles", len(s.deferred))
 	}
-	inReady := make(map[*DynInst]bool, len(s.readyQ))
+	inReady := make(map[*DynInst]bool, len(s.readyQ)+len(s.parked))
 	for _, r := range s.readyQ {
 		if r.stale() {
 			continue // recycled slot or dead uop; dropped lazily at pop
 		}
 		if r.d.pendingSrcs != 0 {
 			return fmt.Errorf("seq %d is in the ready queue with %d pending sources", r.seq, r.d.pendingSrcs)
+		}
+		inReady[r.d] = true
+	}
+	// Parked entries are ready uops too — popped earlier, blocked on a port
+	// or disambiguation, awaiting the merge. The list must stay seq-sorted
+	// or the merge would emit out of oldest-first order.
+	for i, r := range s.parked {
+		if i > 0 && s.parked[i-1].seq >= r.seq {
+			return fmt.Errorf("parked list out of order at %d: seq %d after %d", i, r.seq, s.parked[i-1].seq)
+		}
+		if r.stale() {
+			continue
+		}
+		if r.d.pendingSrcs != 0 {
+			return fmt.Errorf("seq %d is parked with %d pending sources", r.seq, r.d.pendingSrcs)
 		}
 		inReady[r.d] = true
 	}

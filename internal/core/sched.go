@@ -16,8 +16,12 @@ package core
 //   - Select: the ready queue is a min-heap keyed by sequence number, so
 //     popping yields exactly the oldest-first order the ROB scan produced.
 //     Issue pops until IssueWidth is consumed; memory uops that lose a port
-//     or fail disambiguation are set aside and re-inserted at the end of the
-//     cycle, reproducing the scan's "skip and retry next cycle" behavior.
+//     or fail disambiguation are set aside on a parked list, reproducing the
+//     scan's "skip and retry next cycle" behavior. Because pops happen in
+//     seq order, the parked list is itself seq-sorted, so the next cycle
+//     merges it with the heap instead of re-pushing every blocked uop —
+//     a window full of disambiguation-blocked loads costs O(N) comparisons
+//     per cycle, not O(N log N) heap churn.
 //
 //   - Store-address index: in-window stores with computed addresses are
 //     indexed by 8-byte address bucket, and stores whose address is still
@@ -58,11 +62,13 @@ func (r schedRef) stale() bool { return r.d.gen != r.gen || schedStale(r.d) }
 // issueSched is the scheduler state embedded in Core.
 type issueSched struct {
 	readyQ   readyHeap    // ready, unissued uops, keyed by captured seq
-	deferred []schedRef   // scratch: uops popped but port/disambiguation-blocked this cycle
+	parked   []schedRef   // seq-sorted: uops popped earlier but port/disambiguation-blocked
+	deferred []schedRef   // scratch for building next cycle's parked list
 	waiters  [][]schedRef // per physical register: uops waiting on its broadcast
 
 	unknownStores seqHeap               // in-window stores with no computed address, keyed by captured seq
 	storeIdx      map[uint64][]*DynInst // in-window EAValid stores by EA>>3 bucket (maintained eagerly)
+	bucketPool    [][]*DynInst          // recycled bucket backing arrays (see dropStore)
 }
 
 func newIssueSched(numPhys int) issueSched {
@@ -77,11 +83,19 @@ func newIssueSched(numPhys int) issueSched {
 // their backing arrays stay warm.
 func (s *issueSched) clear() {
 	s.readyQ = s.readyQ[:0]
+	s.parked = s.parked[:0]
 	s.deferred = s.deferred[:0]
 	for i := range s.waiters {
 		s.waiters[i] = s.waiters[i][:0]
 	}
 	s.unknownStores = s.unknownStores[:0]
+	//simlint:allow determinism -- pool refill order never affects simulated state
+	for _, bucket := range s.storeIdx {
+		for i := range bucket {
+			bucket[i] = nil
+		}
+		s.bucketPool = append(s.bucketPool, bucket[:0])
+	}
 	clear(s.storeIdx)
 }
 
@@ -152,7 +166,18 @@ func (c *Core) noteStoreAddr(d *DynInst) {
 		return
 	}
 	b := d.EA >> 3
-	c.sched.storeIdx[b] = append(c.sched.storeIdx[b], d)
+	bucket, ok := c.sched.storeIdx[b]
+	if !ok {
+		// Fresh bucket: reuse a recycled backing array. Buckets are deleted
+		// when their last store leaves (dropStore), so without the pool a
+		// streaming workload allocates one slice per store lifetime.
+		if n := len(c.sched.bucketPool); n > 0 {
+			bucket = c.sched.bucketPool[n-1]
+			c.sched.bucketPool[n-1] = nil
+			c.sched.bucketPool = c.sched.bucketPool[:n-1]
+		}
+	}
+	c.sched.storeIdx[b] = append(bucket, d)
 }
 
 // dropStore removes a store from the address index when it leaves the window
@@ -174,6 +199,9 @@ func (c *Core) dropStore(d *DynInst) {
 	}
 	if len(bucket) == 0 {
 		delete(c.sched.storeIdx, b)
+		if cap(bucket) > 0 {
+			c.sched.bucketPool = append(c.sched.bucketPool, bucket)
+		}
 	} else {
 		c.sched.storeIdx[b] = bucket
 	}
@@ -224,15 +252,36 @@ func (c *Core) forwardingStore(d *DynInst) *DynInst {
 
 // issueStageEvent selects up to IssueWidth ready uops, oldest first, bounded
 // by data-cache ports — the event-driven replacement for the ROB scan.
-// Popping in Seq order reproduces the scan's oldest-first selection exactly,
-// including same-cycle wakeups: a uop completed during this loop (poison
-// propagation) broadcasts into the heap and, being younger than its
-// producer, is reached in the same relative order the forward scan used.
+// Candidates come from two seq-sorted sources merged on the fly: the parked
+// list (uops blocked on a port or disambiguation in an earlier cycle) and the
+// ready heap (fresh wakeups). The merge emits exactly the oldest-first order
+// a single heap produced, including same-cycle wakeups: a uop completed
+// during this loop (poison propagation) broadcasts into the heap and, being
+// younger than its producer, is reached in the same relative order the
+// forward scan used. Blocked uops land on the deferred scratch in emission
+// (= seq) order, and entries the width cut-off never reached follow them —
+// still sorted, because everything emitted precedes everything unexamined —
+// so the scratch becomes the next cycle's parked list with no heap re-insert.
 func (c *Core) issueStageEvent() {
 	issued, memIssued := 0, 0
-	def := c.sched.deferred[:0]
-	for issued < c.cfg.IssueWidth && len(c.sched.readyQ) > 0 {
-		r := c.sched.readyQ.pop()
+	s := &c.sched
+	def := s.deferred[:0]
+	pi := 0
+	for issued < c.cfg.IssueWidth {
+		var r schedRef
+		switch {
+		case pi < len(s.parked) && (len(s.readyQ) == 0 || s.parked[pi].seq < s.readyQ[0].seq):
+			r = s.parked[pi]
+			s.parked[pi] = schedRef{}
+			pi++
+		case len(s.readyQ) > 0:
+			r = s.readyQ.pop()
+		default:
+			pi = len(s.parked)
+		}
+		if r.d == nil {
+			break
+		}
 		d := r.d
 		if r.stale() || !d.Renamed {
 			continue
@@ -253,10 +302,8 @@ func (c *Core) issueStageEvent() {
 			memIssued++
 		}
 	}
-	for _, r := range def {
-		c.sched.readyQ.push(r)
-	}
-	c.sched.deferred = def[:0]
+	def = append(def, s.parked[pi:]...)
+	s.parked, s.deferred = def, s.parked[:0]
 }
 
 // loadCanIssueEvent is the indexed form of the loadCanIssue walk: consult

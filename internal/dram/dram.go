@@ -10,9 +10,24 @@
 // non-uniform access latency runahead exploits — latency rises steeply with
 // queue depth and falls with row locality — without simulating DRAM command
 // buses cycle by cycle.
+//
+// Requests live on per-bank FIFO lists rather than one flat per-channel
+// queue, and each channel maintains a grant horizon — a lower bound on the
+// next cycle anything could be granted, derived from bank readyAt times and
+// the refresh schedule. Tick is O(channels) while the horizon has not
+// arrived, and the grant scan only inspects banks that can fire, which is
+// what lets the memory system report NextReady to the event-driven clock.
 package dram
 
-import "runaheadsim/internal/stats"
+import (
+	"fmt"
+
+	"runaheadsim/internal/stats"
+)
+
+// never is the horizon value of a channel with nothing queued: no grant can
+// ever happen until an Enqueue lowers it.
+const never = int64(1<<63 - 1)
 
 // Config holds DRAM geometry and timing (core cycles).
 type Config struct {
@@ -37,6 +52,16 @@ type Config struct {
 	// and is unavailable for RefreshCycles. Zero disables refresh.
 	RefreshInterval int64
 	RefreshCycles   int64
+
+	// Reference selects the preserved per-cycle scan: Tick runs the grant
+	// scan on every channel every cycle instead of fast-pathing past
+	// channels whose grant horizon has not arrived, reproducing the seed
+	// controller's cost profile. Grant decisions, timing, and statistics are
+	// identical either way — the horizon is a pure skip condition — which is
+	// what lets the equivalence suite cross-check the two implementations.
+	// The ClockTick reference kernel sets this; it never changes simulated
+	// behavior, so snapshots exclude it from the configuration fingerprint.
+	Reference bool
 }
 
 // DefaultConfig matches Table 1 at a 3.2 GHz core clock.
@@ -65,30 +90,47 @@ type Request struct {
 	// Done is called at the cycle the last data beat leaves the bus. Nil is
 	// allowed (writebacks usually don't need completion).
 	Done func(cycle int64)
+	// DoneR is the allocation-free flavor of Done: it receives the request
+	// itself, so a caller issuing many requests can install one shared
+	// method value instead of a fresh closure per request and recover its
+	// context (LineAddr, Write) from the argument. When both are set, DoneR
+	// wins.
+	DoneR func(r *Request, cycle int64)
 
 	channel, bank int
 	row           uint64
+	seq           uint64 // per-controller enqueue order; FR-FCFS age tie-break
 }
 
 type bank struct {
 	openRow uint64
 	hasOpen bool
 	readyAt int64
+	reqs    []*Request // pending requests in enqueue (seq) order
 }
 
 // Controller is the memory controller plus DRAM devices.
 type Controller struct {
 	cfg     Config
-	queues  [][]*Request
 	banks   [][]bank
 	busAt   []int64
 	queued  int
 	nextRef []int64
+	// horizon[ch] is a lower bound on the next cycle a grant could occur on
+	// the channel (never when nothing is queued). It may be conservatively
+	// early — a wake-up that grants nothing just recomputes it — but is
+	// never late: Tick fast-paths past a channel only while now < horizon.
+	horizon []int64
+	seqCtr  uint64
 
 	// OnGrant, when non-nil, is invoked as the controller grants each
 	// request (the observability layer's DRAM-access event hook). rowHit
 	// reports whether the access hit the bank's open row.
 	OnGrant func(now int64, lineAddr uint64, write, rowHit bool)
+	// Release, when non-nil, receives each request after its completion
+	// callback has run. The memory hierarchy uses it to recycle requests
+	// through a free pool instead of allocating one per miss.
+	Release func(r *Request)
 
 	// Statistics.
 	Refreshes    uint64
@@ -108,14 +150,15 @@ func New(cfg Config) *Controller {
 	}
 	c := &Controller{
 		cfg:     cfg,
-		queues:  make([][]*Request, cfg.Channels),
 		banks:   make([][]bank, cfg.Channels),
 		busAt:   make([]int64, cfg.Channels),
 		nextRef: make([]int64, cfg.Channels),
+		horizon: make([]int64, cfg.Channels),
 		Latency: stats.NewHistogram(64, 16),
 	}
 	for i := range c.banks {
 		c.banks[i] = make([]bank, cfg.BanksPerChannel)
+		c.horizon[i] = never
 		if cfg.RefreshInterval > 0 {
 			// Stagger channel refreshes so they don't align.
 			c.nextRef[i] = cfg.RefreshInterval * int64(i+1) / int64(cfg.Channels)
@@ -154,40 +197,78 @@ func (c *Controller) Enqueue(r *Request) bool {
 		return false
 	}
 	r.channel, r.bank, r.row = c.mapAddr(r.LineAddr)
-	c.queues[r.channel] = append(c.queues[r.channel], r)
+	r.seq = c.seqCtr
+	c.seqCtr++
+	bk := &c.banks[r.channel][r.bank]
+	bk.reqs = append(bk.reqs, r)
 	c.queued++
+	// The new request could be granted as soon as its bank is ready, and no
+	// later than the channel's next refresh boundary (a refresh pushes bank
+	// readyAt, so the horizon must not sleep past it while work is queued).
+	if bk.readyAt < c.horizon[r.channel] {
+		c.horizon[r.channel] = bk.readyAt
+	}
+	if c.cfg.RefreshInterval > 0 && c.nextRef[r.channel] < c.horizon[r.channel] {
+		c.horizon[r.channel] = c.nextRef[r.channel]
+	}
 	return true
 }
 
 // Tick advances the controller to cycle now, granting at most one request per
 // channel per cycle under FR-FCFS: row-hit reads first, then any ready read,
-// then row-hit writes, then any ready write; age breaks ties.
+// then row-hit writes, then any ready write; age breaks ties. Channels whose
+// grant horizon has not arrived are skipped after a one-compare refresh
+// check, so an idle or blocked controller ticks in O(channels).
 func (c *Controller) Tick(now int64) {
-	for ch := range c.queues {
-		// Periodic refresh: precharge-all, bank unavailability for tRFC.
+	for ch := range c.banks {
 		if c.cfg.RefreshInterval > 0 && now >= c.nextRef[ch] {
-			c.Refreshes++
-			c.nextRef[ch] += c.cfg.RefreshInterval
-			for b := range c.banks[ch] {
-				bk := &c.banks[ch][b]
-				bk.hasOpen = false
-				if r := now + c.cfg.RefreshCycles; r > bk.readyAt {
-					bk.readyAt = r
-				}
-			}
+			c.refreshCatchUp(ch, now)
 		}
-		q := c.queues[ch]
-		if len(q) == 0 {
+		if !c.cfg.Reference && now < c.horizon[ch] {
 			continue
 		}
-		best := -1
-		bestClass := 5
-		for i, r := range q {
-			b := &c.banks[ch][r.bank]
-			if b.readyAt > now {
-				continue
+		c.grantScan(ch, now)
+	}
+}
+
+// refreshCatchUp fires every refresh due at or before now, each at its
+// scheduled cycle: when Tick runs every cycle this fires exactly at tREFI
+// boundaries, and when the clock warps over an idle stretch the replay
+// leaves bank state and counters exactly as the per-cycle run would have
+// (precharge-all, readyAt = max(readyAt, scheduled + tRFC)). A single-fire
+// check here would silently drop refreshes across large now jumps.
+func (c *Controller) refreshCatchUp(ch int, now int64) {
+	for now >= c.nextRef[ch] {
+		at := c.nextRef[ch]
+		c.Refreshes++
+		c.nextRef[ch] += c.cfg.RefreshInterval
+		for b := range c.banks[ch] {
+			bk := &c.banks[ch][b]
+			bk.hasOpen = false
+			if r := at + c.cfg.RefreshCycles; r > bk.readyAt {
+				bk.readyAt = r
 			}
-			hit := b.hasOpen && b.openRow == r.row
+		}
+	}
+	c.recomputeHorizon(ch)
+}
+
+// grantScan picks and grants the best FR-FCFS candidate on the channel. Only
+// banks that are ready this cycle are inspected; within the ready set the
+// winner is the lowest (class, enqueue seq) pair, which reproduces exactly
+// the old flat-queue scan (queue position order is enqueue order).
+func (c *Controller) grantScan(ch int, now int64) {
+	var best *Request
+	bestBank, bestIdx := -1, -1
+	bestClass := 5
+	bestSeq := ^uint64(0)
+	for b := range c.banks[ch] {
+		bk := &c.banks[ch][b]
+		if len(bk.reqs) == 0 || bk.readyAt > now {
+			continue
+		}
+		for i, r := range bk.reqs {
+			hit := bk.hasOpen && bk.openRow == r.row
 			class := 0
 			switch {
 			case c.cfg.StarvationLimit > 0 && now-r.Arrival > c.cfg.StarvationLimit:
@@ -201,18 +282,117 @@ func (c *Controller) Tick(now int64) {
 			default:
 				class = 4
 			}
-			if class < bestClass {
-				best, bestClass = i, class
+			if class < bestClass || (class == bestClass && r.seq < bestSeq) {
+				best, bestBank, bestIdx = r, b, i
+				bestClass, bestSeq = class, r.seq
 			}
 		}
-		if best < 0 {
+	}
+	if best == nil {
+		// Woke at a stale horizon (e.g. a refresh pushed readyAt since it
+		// was computed); tighten it so the fast path resumes.
+		c.recomputeHorizon(ch)
+		return
+	}
+	bk := &c.banks[ch][bestBank]
+	n := len(bk.reqs) - 1
+	copy(bk.reqs[bestIdx:], bk.reqs[bestIdx+1:])
+	bk.reqs[n] = nil // don't retain the granted request in the backing array
+	bk.reqs = bk.reqs[:n]
+	c.queued--
+	c.grant(best, now)
+	c.recomputeHorizon(ch)
+}
+
+// recomputeHorizon derives the channel's grant horizon from ground truth:
+// the earliest readyAt over banks with queued work, clamped by the next
+// refresh boundary while anything is pending.
+func (c *Controller) recomputeHorizon(ch int) {
+	hz := never
+	pending := false
+	for b := range c.banks[ch] {
+		bk := &c.banks[ch][b]
+		if len(bk.reqs) == 0 {
 			continue
 		}
-		r := q[best]
-		c.queues[ch] = append(q[:best], q[best+1:]...)
-		c.queued--
-		c.grant(r, now)
+		pending = true
+		if bk.readyAt < hz {
+			hz = bk.readyAt
+		}
 	}
+	if pending && c.cfg.RefreshInterval > 0 && c.nextRef[ch] < hz {
+		hz = c.nextRef[ch]
+	}
+	c.horizon[ch] = hz
+}
+
+// NextReady returns the earliest cycle strictly after now at which any
+// channel could grant a request — the controller's contribution to the
+// memory system's event horizon. It is a safe lower bound (never later than
+// the true next grant; a conservatively early value only costs a no-op
+// wake-up) and returns never (MaxInt64) when nothing is queued: refreshes on
+// an idle controller are replayed deterministically by refreshCatchUp and
+// need no wake-up of their own.
+func (c *Controller) NextReady(now int64) int64 {
+	next := never
+	for _, hz := range c.horizon {
+		if hz < next {
+			next = hz
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// CheckInvariants verifies the derived scheduling state against ground
+// truth: per-bank FIFO seq order and address mapping, the queued-count
+// accounting, and — the load-bearing direction — that no channel's horizon
+// is later than the earliest cycle a grant could actually occur (a late
+// horizon would make the fast path sleep through work forever).
+func (c *Controller) CheckInvariants() error {
+	total := 0
+	for ch := range c.banks {
+		earliest := never
+		pending := false
+		for b := range c.banks[ch] {
+			bk := &c.banks[ch][b]
+			for i, r := range bk.reqs {
+				if r == nil {
+					return fmt.Errorf("dram: channel %d bank %d holds a nil request at %d", ch, b, i)
+				}
+				if r.channel != ch || r.bank != b {
+					return fmt.Errorf("dram: request %#x mapped to (%d,%d) but queued on (%d,%d)",
+						r.LineAddr, r.channel, r.bank, ch, b)
+				}
+				if i > 0 && r.seq <= bk.reqs[i-1].seq {
+					return fmt.Errorf("dram: channel %d bank %d FIFO order broken at %d (seq %d after %d)",
+						ch, b, i, r.seq, bk.reqs[i-1].seq)
+				}
+				total++
+			}
+			if len(bk.reqs) > 0 {
+				pending = true
+				if bk.readyAt < earliest {
+					earliest = bk.readyAt
+				}
+			}
+		}
+		if pending {
+			if c.cfg.RefreshInterval > 0 && c.nextRef[ch] < earliest {
+				earliest = c.nextRef[ch]
+			}
+			if c.horizon[ch] > earliest {
+				return fmt.Errorf("dram: channel %d horizon %d is later than the true next grant bound %d",
+					ch, c.horizon[ch], earliest)
+			}
+		}
+	}
+	if total != c.queued {
+		return fmt.Errorf("dram: queued count %d, but %d requests on bank lists", c.queued, total)
+	}
+	return nil
 }
 
 func (c *Controller) grant(r *Request, now int64) {
@@ -250,8 +430,13 @@ func (c *Controller) grant(r *Request, now int64) {
 		c.Reads++
 	}
 	c.Latency.Observe(uint64(finish - r.Arrival))
-	if r.Done != nil {
+	if r.DoneR != nil {
+		r.DoneR(r, finish)
+	} else if r.Done != nil {
 		r.Done(finish)
+	}
+	if c.Release != nil {
+		c.Release(r)
 	}
 }
 

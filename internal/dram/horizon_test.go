@@ -1,0 +1,254 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tickTo advances the controller from *now to target, one cycle at a time.
+func tickTo(c *Controller, now *int64, target int64) {
+	for ; *now <= target; *now++ {
+		c.Tick(*now)
+	}
+}
+
+// TestRefreshCatchUpAcrossJump is the regression for the single-fire refresh
+// bug: `nextRef += RefreshInterval` executed once per Tick drops refreshes
+// when now jumps far ahead (clock warp, a long-idle controller). Catch-up
+// must replay every due refresh at its scheduled cycle, leaving counters and
+// bank state exactly as a per-cycle run would.
+func TestRefreshCatchUpAcrossJump(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 1000
+	cfg.RefreshCycles = 100
+
+	perCycle := New(cfg)
+	var now int64
+	tickTo(perCycle, &now, 20_000)
+
+	jumped := New(cfg)
+	jumped.Tick(0)
+	jumped.Tick(20_000)
+
+	if perCycle.Refreshes == 0 {
+		t.Fatal("per-cycle run never refreshed; the test is vacuous")
+	}
+	if jumped.Refreshes != perCycle.Refreshes {
+		t.Fatalf("jumped controller replayed %d refreshes, per-cycle fired %d",
+			jumped.Refreshes, perCycle.Refreshes)
+	}
+
+	// The replay must also leave identical bank timing: a request issued
+	// right after the jump completes at the same cycle in both controllers.
+	var dPer, dJump int64 = -1, -1
+	perCycle.Enqueue(&Request{LineAddr: 0, Arrival: 20_001, Done: func(cy int64) { dPer = cy }})
+	jumped.Enqueue(&Request{LineAddr: 0, Arrival: 20_001, Done: func(cy int64) { dJump = cy }})
+	for n := int64(20_001); n < 25_000 && (dPer < 0 || dJump < 0); n++ {
+		perCycle.Tick(n)
+		jumped.Tick(n)
+	}
+	if dPer < 0 || dJump < 0 {
+		t.Fatal("post-jump request never completed")
+	}
+	if dPer != dJump {
+		t.Fatalf("post-jump request completed at %d after a jump, %d per-cycle", dJump, dPer)
+	}
+}
+
+// TestRefreshCatchUpMidIntervalJump pins the replay semantics when the jump
+// lands between refresh boundaries: every skipped boundary fires at its own
+// scheduled cycle (readyAt = boundary + tRFC, not now + tRFC), so a bank is
+// available immediately after a jump that clears the last refresh window.
+func TestRefreshCatchUpMidIntervalJump(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.RefreshInterval = 1000
+	cfg.RefreshCycles = 100
+	c := New(cfg)
+	c.Tick(0)
+	// Jump to well past the last boundary's tRFC window: boundaries 1000,
+	// 2000, 3000 are all due; the last ends at 3100 < 3500.
+	c.Tick(3500)
+	if c.Refreshes != 3 {
+		t.Fatalf("replayed %d refreshes, want 3", c.Refreshes)
+	}
+	var done int64 = -1
+	c.Enqueue(&Request{LineAddr: 0, Arrival: 3500, Done: func(cy int64) { done = cy }})
+	for n := int64(3501); n < 5000 && done < 0; n++ {
+		c.Tick(n)
+	}
+	// A cold access takes tRCD+tCAS+transfer from its grant; the grant must
+	// not have been pushed out by a refresh window stamped at `now`.
+	want := 3501 + int64(cfg.TRCD+cfg.TCAS+cfg.TransferCycles)
+	if done != want {
+		t.Fatalf("post-jump access completed at %d, want %d (refresh window must end at its scheduled cycle)", done, want)
+	}
+}
+
+// driveAtHorizon runs the controller touching it only at the cycles NextReady
+// names, verifying en route that the horizon is sound (CheckInvariants) —
+// the access pattern the event-driven clock produces.
+func driveAtHorizon(t *testing.T, c *Controller, start, bound int64, stop func() bool) {
+	t.Helper()
+	now := start
+	for now < bound && !stop() {
+		c.Tick(now)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", now, err)
+		}
+		nr := c.NextReady(now)
+		if nr == never {
+			break
+		}
+		if nr <= now {
+			t.Fatalf("NextReady(%d) = %d went backwards", now, nr)
+		}
+		now = nr
+	}
+	if !stop() {
+		t.Fatal("horizon-driven run never completed its requests")
+	}
+}
+
+// TestHorizonDrivenGrantsMatchPerCycle is the soundness property behind the
+// whole-simulator stall skip: ticking the controller only at the cycles
+// NextReady reports must grant every request at exactly the cycle a
+// per-cycle run grants it, across row hits, conflicts, multiple banks,
+// starvation promotion, and refresh windows.
+func TestHorizonDrivenGrantsMatchPerCycle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := DefaultConfig()
+		cfg.RefreshInterval = 700
+		cfg.RefreshCycles = 80
+		cfg.StarvationLimit = 150
+		rng := rand.New(rand.NewSource(seed))
+
+		type spec struct {
+			addr  uint64
+			write bool
+		}
+		n := 12 + rng.Intn(12)
+		if n > cfg.QueueCap {
+			n = cfg.QueueCap
+		}
+		specs := make([]spec, n)
+		for i := range specs {
+			// A small address pool forces row hits and conflicts.
+			specs[i] = spec{addr: uint64(rng.Intn(48)) * 64, write: rng.Intn(4) == 0}
+		}
+		mkReqs := func() ([]*Request, []int64) {
+			reqs := make([]*Request, n)
+			done := make([]int64, n)
+			for i := range reqs {
+				done[i] = -1
+				i := i
+				reqs[i] = &Request{LineAddr: specs[i].addr, Write: specs[i].write, Arrival: 0}
+				reqs[i].Done = func(cy int64) { done[i] = cy }
+			}
+			return reqs, done
+		}
+		allDone := func(done []int64) func() bool {
+			return func() bool {
+				for _, d := range done {
+					if d < 0 {
+						return false
+					}
+				}
+				return true
+			}
+		}
+
+		ref := New(cfg)
+		refReqs, refDone := mkReqs()
+		for _, r := range refReqs {
+			if !ref.Enqueue(r) {
+				t.Fatal("enqueue rejected in test setup")
+			}
+		}
+		for now := int64(0); now < 100_000 && !allDone(refDone)(); now++ {
+			ref.Tick(now)
+		}
+
+		hz := New(cfg)
+		hzReqs, hzDone := mkReqs()
+		for _, r := range hzReqs {
+			if !hz.Enqueue(r) {
+				t.Fatal("enqueue rejected in test setup")
+			}
+		}
+		driveAtHorizon(t, hz, 0, 100_000, allDone(hzDone))
+
+		for i := range refDone {
+			if refDone[i] != hzDone[i] {
+				t.Fatalf("seed %d: request %d (%#x) completed at %d horizon-driven, %d per-cycle",
+					seed, i, refReqs[i].LineAddr, hzDone[i], refDone[i])
+			}
+		}
+		if hz.Refreshes != ref.Refreshes || hz.RowHits != ref.RowHits || hz.RowConflicts != ref.RowConflicts {
+			t.Fatalf("seed %d: stats diverged: refreshes %d/%d hits %d/%d conflicts %d/%d",
+				seed, hz.Refreshes, ref.Refreshes, hz.RowHits, ref.RowHits, hz.RowConflicts, ref.RowConflicts)
+		}
+	}
+}
+
+// TestStarvationPromotionAcrossRefresh exercises the FR-FCFS starvation
+// limit while refresh windows repeatedly close the contended row: a
+// conflicting request behind a stream of row hits must be promoted to
+// highest priority once it ages past the limit, refreshes notwithstanding,
+// and must jump ahead of still-queued hits.
+func TestStarvationPromotionAcrossRefresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.StarvationLimit = 100
+	cfg.RefreshInterval = 150
+	cfg.RefreshCycles = 30
+	c := New(cfg)
+
+	_, bkA, rowA := c.mapAddr(0)
+	hitAddr2 := findAddr(c, 64, func(ch, bk int, row uint64) bool { return bk == bkA && row == rowA })
+	confAddr := findAddr(c, 64, func(ch, bk int, row uint64) bool { return bk == bkA && row != rowA })
+
+	// Open row A.
+	opened := false
+	c.Enqueue(&Request{LineAddr: 0, Done: func(int64) { opened = true }})
+	var now int64
+	for ; now < 2000 && !opened; now++ {
+		c.Tick(now)
+	}
+	if !opened {
+		t.Fatal("opening access never completed")
+	}
+
+	// One conflicting request buried under a pile of row hits, all arriving
+	// together. Without the limit the hits (class 1) all beat the conflict
+	// (class 2); with it the conflict is promoted after 100 cycles.
+	start := now
+	var confDone int64 = -1
+	hitsLeft := 10
+	c.Enqueue(&Request{LineAddr: confAddr, Arrival: start, Done: func(cy int64) { confDone = cy }})
+	for i := 0; i < 10; i++ {
+		addr := uint64(0)
+		if i%2 == 1 {
+			addr = hitAddr2
+		}
+		c.Enqueue(&Request{LineAddr: addr, Arrival: start, Done: func(int64) { hitsLeft-- }})
+	}
+	refBefore := c.Refreshes
+	for ; now < start+5000 && (confDone < 0 || hitsLeft > 0); now++ {
+		c.Tick(now)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", now, err)
+		}
+	}
+	if confDone < 0 || hitsLeft > 0 {
+		t.Fatal("requests never drained")
+	}
+	if c.Refreshes == refBefore {
+		t.Fatal("no refresh fired during the contention window; the interaction is untested")
+	}
+	// Promotion: the conflicting request may lose to at most the hits that
+	// fit in one starvation window plus the one in flight at promotion time.
+	if confDone > start+int64(cfg.StarvationLimit)+2*int64(cfg.RefreshCycles)+200 {
+		t.Fatalf("conflicting request finished at %d (arrived %d): starved past the limit", confDone, start)
+	}
+}

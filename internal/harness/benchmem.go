@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/snapshot"
+	"runaheadsim/internal/workload"
+)
+
+// This file benchmarks the event-driven memory system and the whole-simulator
+// stall skip: the warped clock (core.ClockWarp — quiescence detection plus
+// memsys.NextEvent horizons) against the per-cycle reference (core.ClockTick)
+// on the memory-bound workloads whose DRAM-blocked stretches the warp exists
+// to skip. As with BenchCore, every timed pair doubles as an equivalence
+// check — identical final cycle, identical IPC, byte-identical machine
+// snapshots — so the speedup can never come from a behavioral shortcut.
+// cmd/runahead-sweep's -bench-mem flag writes the result to BENCH_mem.json;
+// `make bench-mem` is the canonical invocation.
+
+// BenchMemModes are the three systems the memory-system benchmark exercises:
+// the baseline and the paper's two runahead-buffer flavors.
+func BenchMemModes() []core.Mode {
+	return []core.Mode{core.ModeNone, core.ModeBuffer, core.ModeBufferCC}
+}
+
+// DefaultBenchMemBenches is the memory-bound benchmark set: the workloads
+// where the ROB spends most baseline cycles blocked on DRAM.
+func DefaultBenchMemBenches() []string {
+	return []string{"mcf", "milc", "omnetpp", "libquantum", "lbm"}
+}
+
+// benchMemReps is the number of timing repetitions per (bench, mode, clock)
+// cell; the reported wall time is the minimum. The simulation itself is
+// deterministic — every rep produces bit-identical state, which each rep's
+// equivalence check re-proves — so the only rep-to-rep variance is machine
+// noise, and min-of-N is the standard noise-robust estimator.
+const benchMemReps = 3
+
+// stallDominatedFrac classifies a run as stall-dominated: the warp's
+// quiescence detector proved a majority of all simulated cycles idle and
+// skipped them. Warped-cycle counts are a property of the simulated machine,
+// not of wall time, so membership is deterministic. This is the subset the
+// headline geomean covers — the memory-bound runs where stall cycles dominate
+// and stall skipping is the operative optimization. Runs below the threshold
+// (runahead modes, whose whole point is to eliminate those stalls, and
+// workloads that keep issuing through their misses) still appear in Runs and
+// in GeomeanSpeedupAll; the warp is required to be harmless there, not
+// helpful.
+const stallDominatedFrac = 0.5
+
+// BenchMemRun is one (benchmark, mode) timing pair.
+type BenchMemRun struct {
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+
+	SimCycles int64   `json:"sim_cycles"`
+	Committed uint64  `json:"committed_uops"`
+	IPC       float64 `json:"ipc"`
+
+	// Warp coverage: how many quiescent spans were skipped and what share
+	// of all simulated cycles they covered.
+	Warps        int64   `json:"warps"`
+	WarpedCycles int64   `json:"warped_cycles"`
+	WarpedFrac   float64 `json:"warped_cycle_fraction"`
+
+	// MemStallFrac is the share of cycles the ROB head spent blocked on a
+	// DRAM-bound load — the machine-state view of memory-boundedness that
+	// WarpedFrac turns into skipped work.
+	MemStallFrac float64 `json:"mem_stall_fraction"`
+
+	// StallDominated marks the runs the headline geomean covers:
+	// WarpedFrac >= 0.5, i.e. a majority of all simulated cycles sat in
+	// provably-idle spans the warp skipped.
+	StallDominated bool `json:"stall_dominated"`
+
+	TickSec float64 `json:"tick_wall_sec"`
+	WarpSec float64 `json:"warp_wall_sec"`
+
+	TickCyclesPerSec float64 `json:"tick_sim_cycles_per_sec"`
+	WarpCyclesPerSec float64 `json:"warp_sim_cycles_per_sec"`
+	Speedup          float64 `json:"speedup"`
+
+	// SnapshotDigest is the FNV digest of the drained machine snapshot —
+	// verified identical between the two clock-mode runs before reporting.
+	SnapshotDigest string `json:"snapshot_digest"`
+}
+
+// BenchMemReport is the BENCH_mem.json schema.
+type BenchMemReport struct {
+	MeasureUops uint64        `json:"measure_uops"`
+	Reps        int           `json:"timing_reps"`
+	Runs        []BenchMemRun `json:"runs"`
+	// GeomeanSpeedup is the headline number: geomean over the
+	// stall-dominated runs (see stallDominatedFrac). GeomeanSpeedupAll
+	// covers every run, including those with nothing to skip.
+	GeomeanSpeedup    float64 `json:"geomean_speedup_stall_dominated"`
+	GeomeanSpeedupAll float64 `json:"geomean_speedup_all"`
+}
+
+// BenchMem times every (benchmark, mode) pair under both clock modes and
+// verifies their equivalence: same final cycle (hence identical IPC) and
+// byte-identical drained snapshots, re-checked on every timing repetition.
+// Benches nil selects the memory-bound default set; uops 0 selects 300k
+// measured uops per run.
+func BenchMem(benches []string, uops uint64) (*BenchMemReport, error) {
+	if len(benches) == 0 {
+		benches = DefaultBenchMemBenches()
+	}
+	if uops == 0 {
+		uops = 300_000
+	}
+	rep := &BenchMemReport{MeasureUops: uops, Reps: benchMemReps}
+	logAll, logDom, nDom := 0.0, 0.0, 0
+	for _, bench := range benches {
+		p, err := workload.Load(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range BenchMemModes() {
+			timed := func(clock core.ClockMode) (sec float64, c *core.Core, snap []byte, err error) {
+				cfg := core.DefaultConfig()
+				cfg.Mode = mode
+				cfg.ClockMode = clock
+				c = core.New(cfg, p)
+				runtime.GC() // keep allocator state comparable across the pair
+				//simlint:allow determinism -- wall-clock timing is the measurement here, not simulated state
+				t0 := time.Now()
+				c.Run(uops)
+				sec = time.Since(t0).Seconds()
+				if err = c.Drain(); err != nil {
+					return 0, nil, nil, fmt.Errorf("%s/%v/%v: %w", bench, mode, clock, err)
+				}
+				snap, err = c.Snapshot()
+				if err != nil {
+					return 0, nil, nil, fmt.Errorf("%s/%v/%v: %w", bench, mode, clock, err)
+				}
+				return sec, c, snap, nil
+			}
+			var tickSec, warpSec float64
+			var warpCore, tickCore *core.Core
+			var warpSnap []byte
+			for r := 0; r < benchMemReps; r++ {
+				ts, tc, tickSnap, err := timed(core.ClockTick)
+				if err != nil {
+					return nil, err
+				}
+				ws, wc, wSnap, err := timed(core.ClockWarp)
+				if err != nil {
+					return nil, err
+				}
+				if wc.Now() != tc.Now() {
+					return nil, fmt.Errorf("%s/%v: clocks diverged — warp finished at cycle %d, tick at %d",
+						bench, mode, wc.Now(), tc.Now())
+				}
+				if !bytes.Equal(wSnap, tickSnap) {
+					return nil, fmt.Errorf("%s/%v: clocks diverged — machine snapshots differ (%d vs %d bytes)",
+						bench, mode, len(wSnap), len(tickSnap))
+				}
+				if warpSnap != nil && !bytes.Equal(wSnap, warpSnap) {
+					return nil, fmt.Errorf("%s/%v: nondeterministic — snapshots differ across repetitions", bench, mode)
+				}
+				if r == 0 || ts < tickSec {
+					tickSec = ts
+				}
+				if r == 0 || ws < warpSec {
+					warpSec = ws
+				}
+				warpCore, tickCore, warpSnap = wc, tc, wSnap
+			}
+			_ = tickCore
+			cycles := warpCore.Stats().Cycles
+			warps, skipped := warpCore.WarpStats()
+			run := BenchMemRun{
+				Bench:            bench,
+				Mode:             mode.String(),
+				SimCycles:        cycles,
+				Committed:        warpCore.Stats().Committed,
+				IPC:              warpCore.Stats().IPC(),
+				Warps:            warps,
+				WarpedCycles:     skipped,
+				WarpedFrac:       float64(skipped) / float64(cycles),
+				MemStallFrac:     float64(warpCore.Stats().MemStallCycles) / float64(cycles),
+				TickSec:          tickSec,
+				WarpSec:          warpSec,
+				TickCyclesPerSec: float64(cycles) / tickSec,
+				WarpCyclesPerSec: float64(cycles) / warpSec,
+				Speedup:          tickSec / warpSec,
+				SnapshotDigest:   fmt.Sprintf("%016x", snapshot.HashBytes(warpSnap)),
+			}
+			run.StallDominated = run.WarpedFrac >= stallDominatedFrac
+			logAll += math.Log(run.Speedup)
+			if run.StallDominated {
+				logDom += math.Log(run.Speedup)
+				nDom++
+			}
+			rep.Runs = append(rep.Runs, run)
+		}
+	}
+	rep.GeomeanSpeedupAll = math.Exp(logAll / float64(len(rep.Runs)))
+	if nDom > 0 {
+		rep.GeomeanSpeedup = math.Exp(logDom / float64(nDom))
+	}
+	return rep, nil
+}

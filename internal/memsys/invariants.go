@@ -24,6 +24,15 @@ func (h *Hierarchy) CheckInvariants(deep bool) error {
 			return fmt.Errorf("%s MSHRs: %w", mf.name, err)
 		}
 	}
+	// Event-horizon soundness: a late event means the warped clock jumped
+	// over a due cycle, and a late DRAM grant horizon would make the
+	// controller's fast path sleep through grantable work.
+	if h.lateEvents > 0 {
+		return fmt.Errorf("memsys: %d events fired after their scheduled cycle (clock warped over a due event)", h.lateEvents)
+	}
+	if err := h.mem.CheckInvariants(); err != nil {
+		return err
+	}
 	if !deep {
 		return nil
 	}

@@ -14,7 +14,6 @@
 package memsys
 
 import (
-	"container/heap"
 	"fmt"
 
 	"runaheadsim/internal/cache"
@@ -22,33 +21,20 @@ import (
 	"runaheadsim/internal/prefetch"
 )
 
-// Level is the deepest level an access had to reach.
-type Level uint8
+// Level is the deepest level an access had to reach. Defined in package
+// cache (so MSHR waiters can carry completion callbacks without adapter
+// closures) and re-exported here for the hierarchy's public API.
+type Level = cache.Level
 
 // Hierarchy levels.
 const (
-	LevelL1 Level = iota
-	LevelLLC
-	LevelMem
+	LevelL1  = cache.LevelL1
+	LevelLLC = cache.LevelLLC
+	LevelMem = cache.LevelMem
 )
 
-// String implements fmt.Stringer.
-func (l Level) String() string {
-	switch l {
-	case LevelL1:
-		return "L1"
-	case LevelLLC:
-		return "LLC"
-	default:
-		return "Mem"
-	}
-}
-
-// Outcome reports the completion of an access.
-type Outcome struct {
-	When  int64
-	Level Level
-}
+// Outcome reports the completion of an access; see cache.Outcome.
+type Outcome = cache.Outcome
 
 // Config describes the hierarchy.
 type Config struct {
@@ -94,25 +80,131 @@ const (
 	kindPrefetch
 )
 
-// event is a scheduled closure.
+// Never is the NextEvent value of a hierarchy with no pending work: nothing
+// will happen until a new access arrives.
+const Never = int64(1<<63 - 1)
+
+// evKind discriminates the typed scheduled events. Events used to be
+// closures; on memory-bound runs the per-hop closure allocations dominated
+// the heap profile, so the payload now lives in the event value itself and
+// only the caller-provided completion callbacks remain funcs.
+type evKind uint8
+
+const (
+	evDone      evKind = iota // fire done(Outcome{h.now, lvl})
+	evMiss                    // fire miss(h.now)
+	evLLCAccess               // llcAccess(line, rk)
+	evFillL1                  // fillL1(line, rk, false) — LLC-hit fill
+	evFillLLC                 // fillLLC(line, pf) — line arrived from DRAM
+)
+
+// event is one scheduled hierarchy action.
 type event struct {
 	cycle int64
 	seq   uint64
-	fn    func()
+	kind  evKind
+	line  uint64
+	rk    reqKind
+	lvl   Level
+	pf    bool
+	done  func(Outcome)
+	miss  func(int64)
 }
 
+// fire dispatches the event at cycle h.now.
+func (h *Hierarchy) fire(e *event) {
+	switch e.kind {
+	case evDone:
+		e.done(Outcome{When: h.now, Level: e.lvl, Line: e.line})
+	case evMiss:
+		e.miss(h.now)
+	case evLLCAccess:
+		h.llcAccess(e.line, e.rk)
+	case evFillL1:
+		h.fillL1(e.line, e.rk, false)
+	case evFillLLC:
+		h.fillLLC(e.line, e.pf)
+	}
+}
+
+// reqRing is a FIFO of DRAM requests backed by a slice with a moving head.
+// The old `q = q[1:]` head-slicing kept every granted *dram.Request alive in
+// the backing array until the whole queue drained; the ring nils slots as
+// they pop and compacts once the dead prefix dominates.
+type reqRing struct {
+	buf  []*dram.Request
+	head int
+}
+
+func (q *reqRing) len() int             { return len(q.buf) - q.head }
+func (q *reqRing) front() *dram.Request { return q.buf[q.head] }
+func (q *reqRing) push(r *dram.Request) { q.buf = append(q.buf, r) }
+func (q *reqRing) pop() {
+	q.buf[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf, q.head = q.buf[:0], 0
+	case q.head >= 64 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf, q.head = q.buf[:n], 0
+	}
+}
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (cycle, seq). container/heap would box every event into an interface on
+// Push and Pop — two heap allocations per hierarchy hop, a dominant term in
+// memory-bound allocation profiles — so the sift loops are written out here
+// (mirroring core's wakeup-queue heap).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+func eventBefore(a, b *event) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !eventBefore(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release callback references held by the dead tail slot
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventBefore(&s[r], &s[child]) {
+			child = r
+		}
+		if !eventBefore(&s[child], &s[i]) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
+}
 
 // Hierarchy is the assembled memory system.
 type Hierarchy struct {
@@ -126,8 +218,28 @@ type Hierarchy struct {
 	events   eventHeap
 	seq      uint64
 	now      int64
-	dramWait []*dram.Request // overflow when the 64-entry memory queue is full
-	llcRetry []func() bool   // demand misses waiting for a free LLC MSHR
+	dramWait reqRing       // overflow when the 64-entry memory queue is full
+	llcRetry []func() bool // demand misses waiting for a free LLC MSHR
+
+	// fillL1Data/fillL1Instr are the LLC-MSHR waiters attachL1Fill installs,
+	// cached once here so no closure is allocated per LLC miss (the Outcome
+	// carries the line).
+	fillL1Data  func(Outcome)
+	fillL1Instr func(Outcome)
+
+	// reqPool recycles dram.Request values: the controller hands each
+	// request back through its Release hook after the completion callback
+	// runs, and the two shared DoneR method values below replace the
+	// per-request fill closures.
+	reqPool      []*dram.Request
+	demandDone   func(r *dram.Request, cy int64)
+	prefetchDone func(r *dram.Request, cy int64)
+
+	// lateEvents counts events that fired after their scheduled cycle. In a
+	// correctly driven hierarchy this never happens — Tick runs at every
+	// cycle the event horizon names — so a nonzero count means the clock
+	// warped over a due event; CheckInvariants reports it.
+	lateEvents uint64
 
 	// OnLLCMiss, when non-nil, is invoked on every LLC demand miss (the
 	// observability layer's cache-miss event hook). It fires at miss
@@ -155,6 +267,20 @@ func New(cfg Config) *Hierarchy {
 		l1dMSHR: cache.NewMSHRFile(cfg.L1DMSHRs),
 		llcMSHR: cache.NewMSHRFile(cfg.LLCMSHRs),
 		mem:     dram.New(cfg.DRAM),
+	}
+	// Shared completion callbacks and the request free pool: one closure per
+	// hierarchy instead of one per miss.
+	h.fillL1Data = func(o Outcome) { h.fillL1(o.Line, kindData, true) }
+	h.fillL1Instr = func(o Outcome) { h.fillL1(o.Line, kindInstr, true) }
+	h.demandDone = func(r *dram.Request, cy int64) {
+		h.scheduleEv(cy, event{kind: evFillLLC, line: r.LineAddr, pf: false})
+	}
+	h.prefetchDone = func(r *dram.Request, cy int64) {
+		h.scheduleEv(cy, event{kind: evFillLLC, line: r.LineAddr, pf: true})
+	}
+	h.mem.Release = func(r *dram.Request) {
+		*r = dram.Request{}
+		h.reqPool = append(h.reqPool, r)
 	}
 	if cfg.EnablePrefetch {
 		switch cfg.PrefetchKind {
@@ -200,12 +326,30 @@ func (h *Hierarchy) TotalDRAMRequests() uint64 {
 // OutstandingDataMisses returns the number of in-flight L1D misses.
 func (h *Hierarchy) OutstandingDataMisses() int { return h.l1dMSHR.Outstanding() }
 
-func (h *Hierarchy) schedule(cycle int64, fn func()) {
+// scheduleEv enqueues ev to fire at cycle (clamped to at least the next
+// cycle, like every hierarchy hop).
+func (h *Hierarchy) scheduleEv(cycle int64, ev event) {
 	if cycle <= h.now {
 		cycle = h.now + 1
 	}
 	h.seq++
-	heap.Push(&h.events, event{cycle: cycle, seq: h.seq, fn: fn})
+	ev.cycle, ev.seq = cycle, h.seq
+	h.events.push(ev)
+}
+
+// newReq returns a request from the free pool (or a fresh one), stamped with
+// the given fields.
+func (h *Hierarchy) newReq(line uint64, write bool) *dram.Request {
+	var r *dram.Request
+	if n := len(h.reqPool); n > 0 {
+		r = h.reqPool[n-1]
+		h.reqPool[n-1] = nil
+		h.reqPool = h.reqPool[:n-1]
+	} else {
+		r = &dram.Request{}
+	}
+	r.LineAddr, r.Write, r.Arrival = line, write, h.now
+	return r
 }
 
 // Tick advances the hierarchy to cycle now, firing due events, retrying
@@ -220,17 +364,44 @@ func (h *Hierarchy) Tick(now int64) {
 				kept = append(kept, try)
 			}
 		}
+		for i := len(kept); i < len(h.llcRetry); i++ {
+			h.llcRetry[i] = nil // don't retain satisfied retries in the tail
+		}
 		h.llcRetry = kept
 	}
 	// Drain the overflow queue into the 64-entry memory queue.
-	for len(h.dramWait) > 0 && h.mem.Enqueue(h.dramWait[0]) {
-		h.dramWait = h.dramWait[1:]
+	for h.dramWait.len() > 0 && h.mem.Enqueue(h.dramWait.front()) {
+		h.dramWait.pop()
 	}
 	h.mem.Tick(now)
 	for len(h.events) > 0 && h.events[0].cycle <= now {
-		e := heap.Pop(&h.events).(event)
-		e.fn()
+		e := h.events.pop()
+		if e.cycle < now {
+			h.lateEvents++ // a warped clock jumped over a due event
+		}
+		h.fire(&e)
 	}
+}
+
+// NextEvent returns the next cycle at which the hierarchy has work to do:
+// the minimum of the event-heap top, the DRAM controller's grant horizon,
+// and — while any retry backlog exists — the very next cycle (back-pressured
+// work is retried every Tick). It returns Never when the hierarchy is fully
+// idle. The value is a safe lower bound: ticking earlier than it is a no-op,
+// ticking every cycle up to it is exactly the per-cycle reference behavior,
+// and no event, retry, or grant can occur strictly before it.
+func (h *Hierarchy) NextEvent() int64 {
+	if len(h.llcRetry) > 0 || h.dramWait.len() > 0 {
+		return h.now + 1
+	}
+	next := Never
+	if len(h.events) > 0 {
+		next = h.events[0].cycle
+	}
+	if nr := h.mem.NextReady(h.now); nr < next {
+		next = nr
+	}
+	return next
 }
 
 // Load issues a data read at cycle now.
@@ -245,17 +416,34 @@ func (h *Hierarchy) Tick(now int64) {
 //
 // Load reports false when the L1D MSHR file is full and the access must be
 // retried.
+//
+// LoadHit is the allocation-free fast path for the common L1D-hit case: if
+// addr hits, it counts the access exactly as Load's hit path would (Loads,
+// the cache's hit statistic and LRU refresh) and reports true, leaving the
+// completion timing — L1Latency cycles, like every hierarchy hop — to the
+// caller, which can schedule a typed event of its own instead of threading a
+// callback through the hierarchy. On a miss nothing is counted or disturbed
+// and the caller falls back to Load.
+func (h *Hierarchy) LoadHit(addr uint64) bool {
+	if !h.l1d.Probe(addr) {
+		return false
+	}
+	h.Loads++
+	h.l1d.Lookup(addr)
+	return true
+}
+
 func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64), done func(Outcome)) bool {
 	h.Loads++
 	if hit, _ := h.l1d.Lookup(addr); hit {
-		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1d.LineAddr(addr), done: done})
 		return true
 	}
 	line := h.l1d.LineAddr(addr)
 	if m, ok := h.l1dMSHR.Lookup(line); ok {
 		if onMiss != nil {
 			if m.FillFromMem {
-				h.schedule(now+int64(h.cfg.L1Latency), func() { onMiss(h.now) })
+				h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evMiss, miss: onMiss})
 			} else {
 				m.EarlyMiss = append(m.EarlyMiss, onMiss)
 			}
@@ -263,11 +451,11 @@ func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64)
 		if noWait {
 			// The line is already in flight; runahead treats it as a miss in
 			// progress and moves on without waiting.
-			h.l1dMSHR.Merge(m, true, nil)
-			h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelMem}) })
+			h.l1dMSHR.Merge(m, true, cache.Waiter{})
+			h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelMem, done: done})
 			return true
 		}
-		h.l1dMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
 		return true
 	}
 	if h.l1dMSHR.FullNow() {
@@ -279,20 +467,20 @@ func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64)
 	}
 	if noWait {
 		notified := false
-		fire := func(cy int64, lvl Level) {
+		fire := func(o Outcome) {
 			if !notified {
 				notified = true
-				done(Outcome{When: cy, Level: lvl})
+				done(o)
 			}
 		}
 		// Early notification when the LLC lookup resolves as a miss; if the
 		// LLC hits instead, the normal fill path completes quickly.
-		m.EarlyMiss = append(m.EarlyMiss, func(cy int64) { fire(cy, LevelMem) })
-		h.l1dMSHR.Merge(m, true, func(cy int64) { fire(cy, fillLevel(m)) })
+		m.EarlyMiss = append(m.EarlyMiss, func(cy int64) { fire(Outcome{When: cy, Level: LevelMem, Line: line}) })
+		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: fire})
 	} else {
-		h.l1dMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
 	}
-	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindData) })
+	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindData})
 	return true
 }
 
@@ -303,24 +491,20 @@ func (h *Hierarchy) Store(now int64, addr uint64, done func(Outcome)) bool {
 	h.Stores++
 	if hit, _ := h.l1d.Lookup(addr); hit {
 		h.l1d.MarkDirty(addr)
-		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1d.LineAddr(addr), done: done})
 		return true
 	}
 	line := h.l1d.LineAddr(addr)
-	finish := func(cy int64, m *cache.MSHR) {
-		h.l1d.MarkDirty(line)
-		done(Outcome{When: cy, Level: fillLevel(m)})
-	}
 	if m, ok := h.l1dMSHR.Lookup(line); ok {
-		h.l1dMSHR.Merge(m, true, func(cy int64) { finish(cy, m) })
+		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
 		return true
 	}
 	if h.l1dMSHR.FullNow() {
 		return false
 	}
 	m := h.l1dMSHR.Allocate(line, false)
-	h.l1dMSHR.Merge(m, true, func(cy int64) { finish(cy, m) })
-	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindData) })
+	h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
+	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindData})
 	return true
 }
 
@@ -329,20 +513,20 @@ func (h *Hierarchy) Store(now int64, addr uint64, done func(Outcome)) bool {
 func (h *Hierarchy) Fetch(now int64, addr uint64, done func(Outcome)) bool {
 	h.Fetches++
 	if hit, _ := h.l1i.Lookup(addr); hit {
-		h.schedule(now+int64(h.cfg.L1Latency), func() { done(Outcome{When: h.now, Level: LevelL1}) })
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1i.LineAddr(addr), done: done})
 		return true
 	}
 	line := h.l1i.LineAddr(addr)
 	if m, ok := h.l1iMSHR.Lookup(line); ok {
-		h.l1iMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
+		h.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
 		return true
 	}
 	if h.l1iMSHR.FullNow() {
 		return false
 	}
 	m := h.l1iMSHR.Allocate(line, false)
-	h.l1iMSHR.Merge(m, true, func(cy int64) { done(Outcome{When: cy, Level: fillLevel(m)}) })
-	h.schedule(now+int64(h.cfg.L1Latency), func() { h.llcAccess(line, kindInstr) })
+	h.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
+	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindInstr})
 	return true
 }
 
@@ -373,7 +557,7 @@ func (h *Hierarchy) llcAccess(line uint64, kind reqKind) {
 		}
 	}
 	if hit {
-		h.schedule(h.now+int64(h.cfg.LLCLatency), func() { h.fillL1(line, kind, false) })
+		h.scheduleEv(h.now+int64(h.cfg.LLCLatency), event{kind: evFillL1, line: line, rk: kind})
 		return
 	}
 	// LLC miss: the requester learns it is DRAM-bound now, even if the miss
@@ -384,26 +568,32 @@ func (h *Hierarchy) llcAccess(line uint64, kind reqKind) {
 		if demand && m.Prefetch && h.pf != nil {
 			h.pf.NoteLatePrefetch()
 		}
-		h.llcMSHR.Merge(m, demand, nil)
+		h.llcMSHR.Merge(m, demand, cache.Waiter{})
 		h.attachL1Fill(m, line, kind)
 		return
 	}
-	try := func() bool {
-		if h.llcMSHR.FullNow() {
-			return false
-		}
-		m := h.llcMSHR.Allocate(line, false)
-		m.FillFromMem = true
-		h.attachL1Fill(m, line, kind)
-		h.DRAMReadsDemand++
-		h.enqueueDRAM(&dram.Request{LineAddr: line, Arrival: h.now, Done: func(cy int64) {
-			h.schedule(cy, func() { h.fillLLC(line, false) })
-		}})
-		return true
+	if !h.tryLLCMiss(line, kind) {
+		// Only the back-pressured path pays for a closure; the common case
+		// (an MSHR is free) allocates nothing here.
+		h.llcRetry = append(h.llcRetry, func() bool { return h.tryLLCMiss(line, kind) })
 	}
-	if !try() {
-		h.llcRetry = append(h.llcRetry, try)
+}
+
+// tryLLCMiss allocates the LLC MSHR for a demand miss and sends the fill to
+// DRAM. It reports false when the MSHR file is full and the miss must be
+// retried next Tick.
+func (h *Hierarchy) tryLLCMiss(line uint64, kind reqKind) bool {
+	if h.llcMSHR.FullNow() {
+		return false
 	}
+	m := h.llcMSHR.Allocate(line, false)
+	m.FillFromMem = true
+	h.attachL1Fill(m, line, kind)
+	h.DRAMReadsDemand++
+	r := h.newReq(line, false)
+	r.DoneR = h.demandDone
+	h.enqueueDRAM(r)
+	return true
 }
 
 // noteEarlyMiss delivers runahead early-miss notifications for data misses
@@ -422,10 +612,20 @@ func (h *Hierarchy) noteEarlyMiss(line uint64, kind reqKind) {
 }
 
 // attachL1Fill arranges for the L1 fill when the LLC-level MSHR completes.
+// The waiters are the two fill functions cached on the Hierarchy at
+// construction (the fill loop hands them the line via the Outcome), so no
+// closure is allocated per LLC miss. A prefetch probe attaches no waiter —
+// the LLC fill itself is the whole effect — but still merges so the
+// demand-conversion bookkeeping runs.
 func (h *Hierarchy) attachL1Fill(m *cache.MSHR, line uint64, kind reqKind) {
-	h.llcMSHR.Merge(m, kind != kindPrefetch, func(cy int64) {
-		h.fillL1(line, kind, true)
-	})
+	var w cache.Waiter
+	switch kind {
+	case kindData:
+		w.Done = h.fillL1Data
+	case kindInstr:
+		w.Done = h.fillL1Instr
+	}
+	h.llcMSHR.Merge(m, kind != kindPrefetch, w)
 }
 
 // fillL1 delivers a line into the appropriate L1 and completes its MSHR.
@@ -448,9 +648,14 @@ func (h *Hierarchy) fillL1(line uint64, kind reqKind, fromMem bool) {
 		if fromMem {
 			m.FillFromMem = true
 		}
+		o := Outcome{When: h.now, Level: fillLevel(m), Line: line}
 		for _, w := range m.Waiters {
-			w(h.now)
+			if w.MarkDirty {
+				h.l1d.MarkDirty(line)
+			}
+			w.Done(o)
 		}
+		h.l1dMSHR.Recycle(m)
 	case kindInstr:
 		if _, ok := h.l1iMSHR.Lookup(line); !ok {
 			return
@@ -460,9 +665,11 @@ func (h *Hierarchy) fillL1(line uint64, kind reqKind, fromMem bool) {
 		if fromMem {
 			m.FillFromMem = true
 		}
+		o := Outcome{When: h.now, Level: fillLevel(m), Line: line}
 		for _, w := range m.Waiters {
-			w(h.now)
+			w.Done(o)
 		}
+		h.l1iMSHR.Recycle(m)
 	}
 }
 
@@ -489,9 +696,11 @@ func (h *Hierarchy) fillLLC(line uint64, prefetched bool) {
 			h.pf.NotePrefetchEviction(v.Addr)
 		}
 	}
+	o := Outcome{When: h.now, Level: fillLevel(m), Line: m.LineAddr}
 	for _, w := range m.Waiters {
-		w(h.now)
+		w.Done(o)
 	}
+	h.llcMSHR.Recycle(m)
 }
 
 // issuePrefetch injects a prefetch for line addr into the LLC miss path.
@@ -509,26 +718,26 @@ func (h *Hierarchy) issuePrefetch(addr uint64) {
 	}
 	h.llcMSHR.Allocate(line, true)
 	h.DRAMReadsPrefetch++
-	h.enqueueDRAM(&dram.Request{LineAddr: line, Arrival: h.now, Done: func(cy int64) {
-		h.schedule(cy, func() { h.fillLLC(line, true) })
-	}})
+	r := h.newReq(line, false)
+	r.DoneR = h.prefetchDone
+	h.enqueueDRAM(r)
 }
 
 func (h *Hierarchy) writeDRAM(line uint64) {
 	h.DRAMWrites++
-	h.enqueueDRAM(&dram.Request{LineAddr: line, Write: true, Arrival: h.now})
+	h.enqueueDRAM(h.newReq(line, true))
 }
 
 func (h *Hierarchy) enqueueDRAM(r *dram.Request) {
-	if len(h.dramWait) > 0 || !h.mem.Enqueue(r) {
-		h.dramWait = append(h.dramWait, r)
+	if h.dramWait.len() > 0 || !h.mem.Enqueue(r) {
+		h.dramWait.push(r)
 	}
 }
 
 // Drained reports whether no activity is pending anywhere in the hierarchy
 // (for tests).
 func (h *Hierarchy) Drained() bool {
-	return len(h.events) == 0 && len(h.dramWait) == 0 && len(h.llcRetry) == 0 &&
+	return len(h.events) == 0 && h.dramWait.len() == 0 && len(h.llcRetry) == 0 &&
 		h.mem.Pending() == 0 && h.l1dMSHR.Outstanding() == 0 &&
 		h.l1iMSHR.Outstanding() == 0 && h.llcMSHR.Outstanding() == 0
 }

@@ -15,7 +15,7 @@ func (h *Hierarchy) SnapshotTo(w *snapshot.Writer) error {
 	w.Mark("memsys")
 	if !h.Drained() {
 		return fmt.Errorf("memsys: snapshotting an undrained hierarchy (events=%d dramWait=%d llcRetry=%d pending=%d mshrs=%d/%d/%d)",
-			len(h.events), len(h.dramWait), len(h.llcRetry), h.mem.Pending(),
+			len(h.events), h.dramWait.len(), len(h.llcRetry), h.mem.Pending(),
 			h.l1iMSHR.Outstanding(), h.l1dMSHR.Outstanding(), h.llcMSHR.Outstanding())
 	}
 	w.I64(h.now)
