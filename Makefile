@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench bench-core bench-mem bench-go sweep report examples clean
+.PHONY: test vet lint check bench bench-core bench-mem bench-go sweep report examples telemetry-smoke clean
 
 test:
 	go test ./...
@@ -45,6 +45,13 @@ bench-core:
 # clock warp").
 bench-mem:
 	go run ./cmd/runahead-sweep -uops 300000 -bench-mem BENCH_mem.json
+
+# Live-introspection smoke: the -tags nometrics build, every telemetry
+# endpoint served during a real parallel sampled sweep (including an SSE
+# progress frame), and a forced watchdog trip producing a non-empty
+# flight-recorder dump. See DESIGN.md §11.
+telemetry-smoke:
+	sh ./scripts/telemetry_smoke.sh
 
 # One scaled-down benchmark per paper table/figure, plus ablations.
 bench-go:

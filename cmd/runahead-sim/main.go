@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"runaheadsim"
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/prog"
 	"runaheadsim/internal/simcheck"
 	"runaheadsim/internal/stats"
+	"runaheadsim/internal/telemetry"
 	"runaheadsim/internal/trace"
 	"runaheadsim/internal/workload"
 )
@@ -48,8 +50,33 @@ func main() {
 		pipe   = flag.Bool("pipeline", false, "print the Figure 6 pipeline diagram and exit")
 		disasm = flag.Bool("disasm", false, "print the benchmark's program listing and exit")
 		showEn = flag.Bool("energy", false, "print the energy breakdown by component")
+		tele   = flag.String("telemetry-addr", "", "serve /metrics, /progress, /healthz and pprof on this address (e.g. 127.0.0.1:8080)")
+		wdog   = flag.Int64("watchdog", 0, "override the deadlock watchdog: no-progress cycle budget (<0 disables, 0 = default)")
+		fdump  = flag.String("flight-dump", ".", "directory for flight-recorder crash dumps (empty disables)")
 	)
 	flag.Parse()
+
+	// A dying simulation panics with full context (watchdog trips, simcheck
+	// violations); by then the flight recorder has already been dumped.
+	// Surface it as a clean fatal error instead of a raw Go traceback.
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "runahead-sim: fatal: %v\n", rec)
+			os.Exit(2)
+		}
+	}()
+
+	var tracker *telemetry.Tracker
+	if *tele != "" {
+		tracker = telemetry.NewTracker()
+		srv, err := telemetry.Start(*tele, nil, tracker)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics /progress /healthz /debug/pprof/\n", srv.Addr())
+	}
 
 	if *list {
 		for _, n := range runaheadsim.Benchmarks() {
@@ -64,7 +91,7 @@ func main() {
 	}
 
 	if *all {
-		compareModes(*bench, *pf, *uops, *warmup)
+		compareModes(*bench, *pf, *uops, *warmup, *wdog, *fdump)
 		return
 	}
 
@@ -90,11 +117,11 @@ func main() {
 		if cycles <= 0 {
 			cycles = 10_000
 		}
-		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, cycles, *trFmt, *trOut, *check)
+		tracePipeline(*bench, *mode, *pf, *enh, *pfkind, cycles, *trFmt, *trOut, *check, *wdog, *fdump)
 		return
 	}
 
-	res, err := runaheadsim.Run(runaheadsim.Config{
+	rcfg := runaheadsim.Config{
 		Benchmark:        *bench,
 		Mode:             runaheadsim.Mode(*mode),
 		Prefetcher:       *pf,
@@ -103,7 +130,13 @@ func main() {
 		WarmupUops:       *warmup,
 		TimelineInterval: *tlEach,
 		Check:            *check,
-	})
+		WatchdogCycles:   *wdog,
+		FlightDumpDir:    *fdump,
+	}
+	if tracker != nil {
+		rcfg.Monitor = tracker
+	}
+	res, err := runaheadsim.Run(rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -178,11 +211,16 @@ func writeTimeline(tl *stats.Timeline, format, out string) error {
 }
 
 // tracePipeline drops below the facade to attach a cycle-by-cycle tracer.
-func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string, check bool) {
+func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64, format, out string, check bool, wdog int64, fdump string) {
 	cfg, err := buildConfig(mode, pf, enh, pfKind)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if wdog > 0 {
+		cfg.WatchdogCycles = wdog
+	} else if wdog < 0 {
+		cfg.WatchdogCycles = 0
 	}
 	p, err := workload.Load(bench)
 	if err != nil {
@@ -205,6 +243,24 @@ func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64
 		os.Exit(1)
 	}
 	c := core.New(cfg, p)
+	// Crash-safe sink: flush and close the trace even when the run dies
+	// mid-stream (watchdog trip, simcheck violation, core bug), so the
+	// events leading up to the crash survive on disk — then dump the flight
+	// recorder and rethrow for main's fatal handler.
+	defer func() {
+		rec := recover()
+		cerr := c.CloseEventSink()
+		if rec != nil {
+			if path := dumpFlight(fdump, "flight-"+bench+"-"+mode, c); path != "" {
+				rec = fmt.Sprintf("%v\n  (flight recorder dumped to %s)", rec, path)
+			}
+			panic(rec)
+		}
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+	}()
 	var chk *simcheck.Checker
 	if check {
 		chk = simcheck.Attach(c, p, simcheck.Options{})
@@ -216,10 +272,29 @@ func tracePipeline(bench, mode string, pf, enh bool, pfKind string, cycles int64
 	if chk != nil {
 		chk.Finish()
 	}
-	if err := c.CloseEventSink(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+}
+
+// dumpFlight writes c's flight recorder to dir/<name>.jsonl, returning the
+// path ("" when disabled, empty, or on I/O failure — a crash dump must never
+// mask the crash itself).
+func dumpFlight(dir, name string, c *core.Core) string {
+	fr := c.FlightRecorder()
+	if dir == "" || fr == nil || fr.Len() == 0 {
+		return ""
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, name+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	if fr.WriteJSONL(f) != nil {
+		return ""
+	}
+	return path
 }
 
 // pipelineDiagram is Figure 6: the out-of-order pipeline with the additions
@@ -241,17 +316,19 @@ const pipelineDiagram = `Figure 6 — the runahead buffer pipeline:
 `
 
 // compareModes runs every runahead mode and prints one row per system.
-func compareModes(bench string, pf bool, uops, warmup uint64) {
+func compareModes(bench string, pf bool, uops, warmup uint64, wdog int64, fdump string) {
 	fmt.Printf("%-22s %8s %10s %13s %11s %10s\n",
 		"system", "IPC", "IPC gain", "energy diff", "DRAM diff", "intervals")
 	for _, m := range runaheadsim.Modes() {
 		res, err := runaheadsim.Run(runaheadsim.Config{
-			Benchmark:    bench,
-			Mode:         m,
-			Prefetcher:   pf,
-			Enhancements: m == runaheadsim.ModeHybrid || m == runaheadsim.ModeAdaptiveHybrid,
-			MeasureUops:  uops,
-			WarmupUops:   warmup,
+			Benchmark:      bench,
+			Mode:           m,
+			Prefetcher:     pf,
+			Enhancements:   m == runaheadsim.ModeHybrid || m == runaheadsim.ModeAdaptiveHybrid,
+			MeasureUops:    uops,
+			WarmupUops:     warmup,
+			WatchdogCycles: wdog,
+			FlightDumpDir:  fdump,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

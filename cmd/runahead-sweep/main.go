@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"runaheadsim/internal/harness"
+	"runaheadsim/internal/telemetry"
 )
 
 func main() {
@@ -52,9 +53,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		benchOut  = fs.String("bench-out", "", "benchmark the sweep (parallel/sampled vs sequential full-detail) and write the JSON report here")
 		benchCore = fs.String("bench-core", "", "benchmark the cycle kernel (event vs scan scheduler, with equivalence checks) and write the JSON report here")
 		benchMem  = fs.String("bench-mem", "", "benchmark the memory system + clock warp (warp vs per-cycle clock, with equivalence checks) and write the JSON report here")
+		tele      = fs.String("telemetry-addr", "", "serve /metrics, /progress (live per-worker sweep state), /healthz and pprof on this address")
+		fdump     = fs.String("flight-dump", ".", "directory for flight-recorder crash dumps (empty disables)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+
+	var tracker *telemetry.Tracker
+	if *tele != "" {
+		tracker = telemetry.NewTracker()
+		srv, err := telemetry.Start(*tele, nil, tracker)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: http://%s/metrics /progress /healthz /debug/pprof/\n", srv.Addr())
 	}
 
 	if *benchCore != "" || *benchMem != "" {
@@ -86,7 +101,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 
-	opts := harness.Options{MeasureUops: *uops, WarmupUops: *warmup}
+	opts := harness.Options{MeasureUops: *uops, WarmupUops: *warmup, FlightDumpDir: *fdump}
+	if tracker != nil {
+		opts.Monitor = tracker
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -113,6 +131,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			e.Build(r)
 		}
 	})
+	if tracker != nil {
+		tracker.SetTotalRuns(len(plan))
+	}
 
 	var report *benchReport
 	if *benchOut != "" {

@@ -60,6 +60,13 @@ type MSHRFile struct {
 	// run actually reached, plotted against capacity by the timeline tools.
 	Peak int
 
+	// Simulator self-profiling (not simulated state, not snapshotted):
+	// Allocate outcomes against the recycle pool. PoolHits reuse an entry
+	// (and its waiter-list backing array); PoolNews hit the Go allocator.
+	// A warm file should be ~all hits after the first few misses.
+	PoolHits uint64
+	PoolNews uint64
+
 	// Lifetime conservation counters. Unlike Allocs (zeroed by ResetStats
 	// while entries are outstanding), these are never reset, so
 	// allocTotal == completeTotal + Outstanding() holds at all times; see
@@ -125,8 +132,10 @@ func (f *MSHRFile) Allocate(lineAddr uint64, prefetch bool) *MSHR {
 		f.free[n-1] = nil
 		f.free = f.free[:n-1]
 		m.LineAddr, m.Prefetch = lineAddr, prefetch
+		f.PoolHits++
 	} else {
 		m = &MSHR{LineAddr: lineAddr, Prefetch: prefetch}
+		f.PoolNews++
 	}
 	f.entries[lineAddr] = m
 	f.Allocs++

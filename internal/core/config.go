@@ -185,6 +185,14 @@ type Config struct {
 	// pseudo-retires) for this many cycles — a simulator deadlock, not a
 	// workload property. Zero disables.
 	WatchdogCycles int64
+
+	// FlightRecorderEvents sizes the always-on flight recorder: a ring of
+	// the most recent coarse trace events (runahead transitions, LLC misses,
+	// DRAM grants, occupancy samples) dumped as JSONL when a run dies. Zero
+	// means the default (512); negative disables the recorder. Simulator
+	// observability only — it never affects simulated behavior — so it is
+	// excluded from the snapshot configuration fingerprint.
+	FlightRecorderEvents int
 }
 
 // DefaultConfig returns the Table 1 machine with runahead disabled.

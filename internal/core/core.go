@@ -6,7 +6,9 @@ import (
 	"runaheadsim/internal/bpred"
 	"runaheadsim/internal/isa"
 	"runaheadsim/internal/memsys"
+	"runaheadsim/internal/metrics"
 	"runaheadsim/internal/prog"
+	"runaheadsim/internal/trace"
 )
 
 // eventWindow bounds how far ahead core-internal events (execution
@@ -117,6 +119,8 @@ type Core struct {
 	// Instrumentation.
 	dep          *depTracker
 	tracer       *Tracer
+	flight       *trace.Ring // always-on flight recorder (nil when disabled)
+	flightIn     int64       // countdown to the next flight occupancy sample
 	tl           *timelineState
 	onCommit     func(*DynInst) // correct-path retirement hook (simcheck oracle)
 	onCycle      func()         // end-of-cycle hook (simcheck invariants)
@@ -136,6 +140,11 @@ type Core struct {
 	cycleRenamed int // uops renamed/dispatched this cycle
 	warps        int64
 	warpedCycles int64
+
+	// prof accumulates simulator self-profiling counters in plain fields;
+	// publishMetrics (metrics.go) flushes deltas to the process-wide
+	// registry at Run boundaries. Never snapshotted, never part of Stats.
+	prof coreProf
 
 	// Shared memory-system callbacks, built once in New. The store buffer
 	// drains in order with one inflight write, and the I-fetch wait is
@@ -191,6 +200,17 @@ func New(cfg Config, p *prog.Program) *Core {
 		c.dep = newDepTracker()
 	}
 	c.lastFetchLine = ^uint64(0)
+	if n := cfg.FlightRecorderEvents; n >= 0 {
+		if n == 0 {
+			n = defaultFlightEvents
+		}
+		c.flight = trace.NewRing(n)
+		c.flightIn = flightSampleEvery
+	}
+	c.installMemHooks()
+	if metrics.Enabled {
+		regCoreMetrics() // instruments exist before the first warp observes one
+	}
 	c.storeDone = func(memsys.Outcome) { c.sbPop() }
 	c.fetchDone = func(o memsys.Outcome) {
 		// A stale fill (for a fetch the front end was redirected away from)
@@ -239,8 +259,10 @@ func (c *Core) CachedChains() []Chain { return c.ccache.CachedChains() }
 func (c *Core) newDyn() *DynInst {
 	n := len(c.dynPool)
 	if n == 0 {
+		c.prof.dynPoolNews++
 		return &DynInst{}
 	}
+	c.prof.dynPoolHits++
 	d := c.dynPool[n-1]
 	c.dynPool[n-1] = nil
 	c.dynPool = c.dynPool[:n-1]
@@ -327,11 +349,19 @@ func (c *Core) Run(target uint64) *Stats {
 	for c.st.Committed < target {
 		c.Cycle()
 		if c.cfg.WatchdogCycles > 0 && c.now-c.lastProgress > c.cfg.WatchdogCycles {
-			panic(fmt.Sprintf("core: watchdog — no progress for %d cycles at cycle %d (program %q, mode %v, ROB %d/%d, committed %d, runahead=%v)",
-				c.cfg.WatchdogCycles, c.now, c.p.Name, c.cfg.Mode, c.rob.size(), c.cfg.ROBSize, c.st.Committed, c.ra.active))
+			msg := fmt.Sprintf("core: watchdog — no progress for %d cycles at cycle %d (program %q, mode %v, ROB %d/%d, committed %d, runahead=%v)",
+				c.cfg.WatchdogCycles, c.now, c.p.Name, c.cfg.Mode, c.rob.size(), c.cfg.ROBSize, c.st.Committed, c.ra.active)
+			// Pin the terminal condition into the flight recorder so the
+			// crash dump ends with the why, then die. The recover sites
+			// (harness workers, the CLIs) write the ring out as JSONL.
+			if c.flight != nil {
+				c.flight.Mark(c.now, msg)
+			}
+			panic(msg)
 		}
 	}
 	c.st.Cycles = c.now - c.statsZero
+	c.publishMetrics()
 	return c.st
 }
 
@@ -380,8 +410,19 @@ func (c *Core) Cycle() {
 	}
 	c.accountCycle()
 
-	// Observability hooks: both stay behind nil checks so the hot path is
-	// untouched when tracing and timelines are off.
+	// Observability hooks: all stay behind nil checks so the hot path is
+	// untouched when tracing and timelines are off. The flight recorder is
+	// the exception — it is always on — so its per-cycle cost is exactly one
+	// countdown decrement; the Event copy happens once per flightSampleEvery
+	// executed cycles. (Warped spans skip sample cycles entirely: the ring is
+	// diagnostic, not part of simulated results, so it deliberately does NOT
+	// clamp the warp the way an attached tracer does.)
+	if c.flight != nil {
+		if c.flightIn--; c.flightIn <= 0 {
+			c.flightIn = flightSampleEvery
+			c.flight.Record(&trace.Event{Cycle: c.now, Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
+		}
+	}
 	if c.tracer != nil && c.now%sampleInterval == 0 {
 		c.traceSample()
 	}
@@ -424,6 +465,11 @@ func (c *Core) dump() string {
 // run so measurements exclude cold-start effects. The cycle and committed
 // counts reported by a subsequent Run are relative to this point.
 func (c *Core) ResetStats() {
+	// Flush self-profiling deltas first: Committed is about to reset, and its
+	// published prev must reset with it so the next flush's delta is the
+	// post-reset count, not a uint64 wraparound.
+	c.publishMetrics()
+	c.prof.prev.committed = 0
 	c.st = newStats()
 	c.statsZero = c.now
 	c.h.ResetStats()

@@ -133,7 +133,7 @@ func (c *Core) tryEnterRunahead(d *DynInst) {
 	c.st.RunaheadIntervals++
 	c.st.CheckpointRegReads += isa.NumArchRegs
 	c.st.CheckpointRegWrites += isa.NumArchRegs
-	if c.tracer != nil {
+	if c.tracer != nil || c.flight != nil {
 		mode, chainLen := "traditional", 0
 		if useBuffer {
 			mode = "buffer"

@@ -145,6 +145,8 @@ func (c *Core) broadcast(p PhysReg) {
 	if len(ws) == 0 {
 		return
 	}
+	c.prof.schedBroadcasts++
+	c.prof.schedWakeups += uint64(len(ws))
 	c.sched.waiters[p] = ws[:0]
 	for _, w := range ws {
 		if w.stale() {
@@ -265,6 +267,8 @@ func (c *Core) forwardingStore(d *DynInst) *DynInst {
 func (c *Core) issueStageEvent() {
 	issued, memIssued := 0, 0
 	s := &c.sched
+	c.prof.schedSelects++
+	c.prof.schedQueueSum += uint64(len(s.readyQ) + len(s.parked))
 	def := s.deferred[:0]
 	pi := 0
 	for issued < c.cfg.IssueWidth {

@@ -131,15 +131,16 @@ func (s *Stats) Merge(o *Stats) {
 // configFingerprint digests the full configuration. Config is maps-free, so
 // the %+v rendering is deterministic, and any parameter difference — pipeline
 // widths, cache geometry, runahead mode — changes the digest. The Scheduler,
-// ClockMode, and DRAM Reference fields are zeroed first: they differ only in
-// simulator speed, never in simulated behavior, so snapshots taken under any
-// combination interoperate (and the equivalence tests compare digests across
-// them directly).
+// ClockMode, DRAM Reference, and FlightRecorderEvents fields are zeroed
+// first: they differ only in simulator speed or observability, never in
+// simulated behavior, so snapshots taken under any combination interoperate
+// (and the equivalence tests compare digests across them directly).
 func (c *Core) configFingerprint() uint64 {
 	cfg := c.cfg
 	cfg.Scheduler = SchedEvent
 	cfg.ClockMode = ClockWarp
 	cfg.Mem.DRAM.Reference = false
+	cfg.FlightRecorderEvents = 0
 	return snapshot.HashString(fmt.Sprintf("%+v", cfg))
 }
 

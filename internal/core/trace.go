@@ -33,33 +33,18 @@ func (c *Core) SetTracer(w io.Writer, limit int64) {
 
 // SetEventSink attaches a structured event sink, replacing any previous one.
 // Events are emitted for cycles strictly before limit ("trace until cycle
-// limit"); limit 0 means no limit. Passing a nil sink disables tracing and
-// unhooks the memory-system event callbacks. The caller owns the sink and
-// must Close it after the run to flush buffered output.
+// limit"); limit 0 means no limit. Passing a nil sink disables tracing. The
+// caller owns the sink and must Close it after the run to flush buffered
+// output. The memory-system event hooks (LLC misses, DRAM grants) are shared
+// with the always-on flight recorder — installMemHooks keeps them live for
+// the recorder even while no tracer is attached.
 func (c *Core) SetEventSink(s trace.Sink, limit int64) {
 	if s == nil {
 		c.tracer = nil
-		c.h.OnLLCMiss = nil
-		c.h.DRAM().OnGrant = nil
-		return
+	} else {
+		c.tracer = &Tracer{sink: s, limit: limit}
 	}
-	t := &Tracer{sink: s, limit: limit}
-	c.tracer = t
-	// Memory-system events flow through the same filter. The hooks only cost
-	// a closure call per LLC miss / DRAM grant — never per cycle — and are
-	// removed entirely when tracing is off.
-	c.h.OnLLCMiss = func(now int64, line uint64, instr bool) {
-		if tr := c.tracer; tr != nil && tr.on(now) {
-			tr.ev = trace.Event{Cycle: now, Kind: trace.CacheMiss, Line: line, Instr: instr}
-			tr.sink.Emit(&tr.ev)
-		}
-	}
-	c.h.DRAM().OnGrant = func(now int64, line uint64, write, rowHit bool) {
-		if tr := c.tracer; tr != nil && tr.on(now) {
-			tr.ev = trace.Event{Cycle: now, Kind: trace.DRAMAccess, Line: line, Write: write, RowHit: rowHit}
-			tr.sink.Emit(&tr.ev)
-		}
-	}
+	c.installMemHooks()
 }
 
 // CloseEventSink closes the attached sink (flushing buffered output and, for
@@ -136,12 +121,18 @@ func (c *Core) traceSquash(d *DynInst) {
 }
 
 func (c *Core) traceRunaheadEnter(pc uint64, mode string, chainLen int) {
+	if c.flight != nil {
+		c.flight.Record(&trace.Event{Cycle: c.now, Kind: trace.RunaheadEnter, PC: pc, Mode: mode, ChainLen: chainLen})
+	}
 	if c.tracer != nil {
 		c.emit(trace.Event{Kind: trace.RunaheadEnter, PC: pc, Mode: mode, ChainLen: chainLen})
 	}
 }
 
 func (c *Core) traceRunaheadExit(misses uint64) {
+	if c.flight != nil {
+		c.flight.Record(&trace.Event{Cycle: c.now, Kind: trace.RunaheadExit, Misses: misses})
+	}
 	if c.tracer != nil {
 		c.emit(trace.Event{Kind: trace.RunaheadExit, Misses: misses})
 	}

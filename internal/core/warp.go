@@ -1,6 +1,9 @@
 package core
 
-import "runaheadsim/internal/memsys"
+import (
+	"runaheadsim/internal/memsys"
+	"runaheadsim/internal/metrics"
+)
 
 // Clock warp: fast-forward across provably idle stretches.
 //
@@ -47,10 +50,12 @@ func (c *Core) maybeWarp() {
 	// both clocks (a warp here would overshoot the boundary and inflate the
 	// recorded cycle count relative to the per-cycle reference).
 	if c.cycleIssued != 0 || c.cycleRenamed != 0 || c.cycleCommits != 0 {
+		c.prof.veto[vetoProgress]++
 		return
 	}
 	// A pending runahead exit flushes the pipeline next cycle.
 	if c.ra.pendingExit {
+		c.prof.veto[vetoRunaheadExit]++
 		return
 	}
 	// Commit: inert only when the window is empty or its head has not
@@ -59,15 +64,18 @@ func (c *Core) maybeWarp() {
 	if c.rob.size() > 0 {
 		head = c.rob.at(0)
 		if head.Executed {
+			c.prof.veto[vetoCommitHead]++
 			return
 		}
 	}
 	// Store buffer: a head entry not yet in flight retries h.Store every
 	// cycle (and each attempt mutates hierarchy counters).
 	if c.sbLen() > 0 && !c.storeBuf[c.sbHead].inflight {
+		c.prof.veto[vetoStoreBuffer]++
 		return
 	}
 	if !c.fetchInert() {
+		c.prof.veto[vetoFetch]++
 		return
 	}
 	// Runahead entry: while a DRAM-bound load blocks the head, commitStage
@@ -78,10 +86,12 @@ func (c *Core) maybeWarp() {
 	if head != nil && !c.ra.active && c.cfg.Mode != ModeNone &&
 		head.U.Op.IsLoad() && head.DRAMBound {
 		if c.ra.lastAttempt != head.Seq {
+			c.prof.veto[vetoRunaheadEntry]++
 			return // no attempt recorded yet for this stall
 		}
 		if !c.ra.noRetry {
 			if c.ra.retryAt <= c.now {
+				c.prof.veto[vetoRunaheadEntry]++
 				return // the retry is due; the next cycle re-attempts
 			}
 			raRetry = true
@@ -111,6 +121,7 @@ func (c *Core) maybeWarp() {
 		t = c.ra.bufferReadyAt // chain generation completes; buffer feeds
 	}
 	if t == memsys.Never {
+		c.prof.veto[vetoNoEvent]++
 		return
 	}
 
@@ -139,9 +150,16 @@ func (c *Core) maybeWarp() {
 	}
 
 	if t <= c.now+1 {
+		c.prof.veto[vetoAdjacent]++
 		return // the next cycle has work; nothing to skip
 	}
 	skip := t - 1 - c.now
+	if metrics.Enabled {
+		// Warps are rare next to cycles (each replaces at least two), so the
+		// jump-size histogram observes the registry directly instead of going
+		// through the publishMetrics delta flush.
+		cm.warpSkip.Observe(skip)
+	}
 
 	// Bulk attribution: exactly what the per-cycle loop would have counted
 	// over cycles (c.now, t), evaluated once under the frozen state.

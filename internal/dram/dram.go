@@ -141,6 +141,14 @@ type Controller struct {
 	RowConflicts uint64 // wrong row open
 	Rejects      uint64 // enqueue attempts while full
 	Latency      *stats.Histogram
+
+	// Simulator self-profiling (not simulated state, not snapshotted):
+	// Tick outcomes per channel — how often the grant horizon let the fast
+	// path skip a channel versus running the full grant scan. The reference
+	// per-cycle kernel scans every tick, so the split measures exactly what
+	// the horizon optimization buys on a given workload.
+	HorizonSkips uint64
+	GrantScans   uint64
 }
 
 // New returns an idle controller.
@@ -225,8 +233,10 @@ func (c *Controller) Tick(now int64) {
 			c.refreshCatchUp(ch, now)
 		}
 		if !c.cfg.Reference && now < c.horizon[ch] {
+			c.HorizonSkips++
 			continue
 		}
+		c.GrantScans++
 		c.grantScan(ch, now)
 	}
 }

@@ -111,6 +111,13 @@ type Options struct {
 	// called from worker goroutines concurrently; it must be safe for that.
 	Progress func(bench, config string)
 
+	// Monitor, when non-nil, receives live progress from every simulated
+	// run: run boundaries, phase transitions, and periodic committed-uop
+	// updates (every progressChunk uops, via chunked Run calls that are
+	// bit-identical to one call). Calls arrive from worker goroutines
+	// concurrently. telemetry.Tracker implements this interface.
+	Monitor Monitor
+
 	// Sample, when non-nil, replaces each full detailed run with the
 	// sampled-interval engine: a functional fast-forward drops periodic
 	// architectural checkpoints, detailed intervals are simulated from them
@@ -130,6 +137,16 @@ type Options struct {
 	// panics with full context. Binaries built with the simcheck build tag
 	// force this on for all runs.
 	Check bool
+
+	// FlightDumpDir, when non-empty, is where a dying run writes its flight
+	// recorder — the core's ring of recent trace events — as JSONL before
+	// the panic propagates. Empty disables dumping.
+	FlightDumpDir string
+
+	// WatchdogCycles, when nonzero, overrides the core's deadlock watchdog
+	// for every run: positive sets the no-progress cycle budget, negative
+	// disables the watchdog entirely. Zero keeps the Table 1 default.
+	WatchdogCycles int64
 }
 
 // DefaultOptions is the sweep default.
@@ -273,6 +290,18 @@ func placeholderResult(bench string, rc RunConfig) *Result {
 	return &Result{Bench: bench, Config: rc, Stats: st, IPC: 1}
 }
 
+// cfgFor translates a RunConfig into a full core configuration with the
+// runner's overrides applied.
+func (r *Runner) cfgFor(rc RunConfig) core.Config {
+	cfg := configFor(rc)
+	if wd := r.opts.WatchdogCycles; wd > 0 {
+		cfg.WatchdogCycles = wd
+	} else if wd < 0 {
+		cfg.WatchdogCycles = 0
+	}
+	return cfg
+}
+
 // configFor translates a RunConfig into a full core configuration.
 func configFor(rc RunConfig) core.Config {
 	cfg := core.DefaultConfig()
@@ -299,25 +328,40 @@ func (r *Runner) run(bench string, rc RunConfig) *Result {
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
 	}
+	label := rc.Label()
 	if r.opts.Progress != nil {
-		r.opts.Progress(bench, rc.Label())
+		r.opts.Progress(bench, label)
+	}
+	if m := r.opts.Monitor; m != nil {
+		m.RunStart(bench, label)
+		defer m.RunDone(bench, label)
 	}
 	if r.opts.Sample != nil {
 		res, err := r.runSampled(bench, rc, spec)
 		if err != nil {
-			panic(fmt.Sprintf("harness: sampled run %s/%s: %v", bench, rc.Label(), err))
+			panic(fmt.Sprintf("harness: sampled run %s/%s: %v", bench, label, err))
 		}
 		return res
 	}
-	cfg := configFor(rc)
+	cfg := r.cfgFor(rc)
 
 	p := workload.MustLoad(bench)
 	c := core.New(cfg, p)
+	defer r.dumpFlightOnPanic(c, "flight-"+bench+"-"+label)
 	var chk *simcheck.Checker
 	if r.opts.Check || simcheck.TagEnabled {
 		chk = simcheck.Attach(c, p, simcheck.Options{})
 	}
-	c.Run(r.opts.warmup(spec.Class))
+	m := r.opts.Monitor
+	var report func(uint64)
+	if m != nil {
+		report = func(done uint64) { m.Progress(bench, label, -1, done) }
+	}
+	warmup := r.opts.warmup(spec.Class)
+	if m != nil {
+		m.Phase(bench, label, -1, "warmup", warmup)
+	}
+	chunkRun(c, warmup, report)
 	c.ResetStats()
 	var tl *stats.Timeline
 	if r.opts.TimelineInterval > 0 {
@@ -328,7 +372,13 @@ func (r *Runner) run(bench string, rc RunConfig) *Result {
 		tl = stats.NewTimeline(r.opts.TimelineInterval, n)
 		c.SetTimeline(tl)
 	}
-	st := c.Run(r.opts.MeasureUops)
+	if m != nil {
+		m.Phase(bench, label, -1, "measure", r.opts.MeasureUops)
+	}
+	st := chunkRun(c, r.opts.MeasureUops, report)
+	if m != nil {
+		m.Done(bench, label, -1)
+	}
 	if chk != nil {
 		chk.Finish()
 	}

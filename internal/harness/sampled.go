@@ -87,7 +87,7 @@ type intervalResult struct {
 // lowest failing interval id.
 func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Result, error) {
 	so := *r.opts.Sample
-	cfg := configFor(rc)
+	cfg := r.cfgFor(rc)
 	p := workload.MustLoad(bench)
 
 	full := r.opts.warmup(spec.Class)
@@ -124,6 +124,8 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 	// One interpreter streams through the program once, dropping each
 	// checkpoint as it passes; the bounded channel keeps at most a couple
 	// of memory images alive beyond the ones workers hold.
+	label := rc.Label()
+	m := r.opts.Monitor
 	cks := make(chan checkpoint, 1)
 	var capErr error
 	go func() {
@@ -134,10 +136,19 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 			}
 		}()
 		in := prog.NewInterp(p)
+		if m != nil {
+			// The fast-forward's goal is the last checkpoint's position.
+			last := plan[n-1]
+			m.Phase(bench, label, -1, "fast-forward", full+uint64(last.id)*step-last.warmup)
+			defer m.Done(bench, label, -1)
+		}
 		for _, ck := range plan {
 			ff := full + uint64(ck.id)*step - ck.warmup
 			in.Run(ff - in.Count())
 			ck.st = in.ArchState()
+			if m != nil {
+				m.Progress(bench, label, -1, in.Count())
+			}
 			cks <- ck
 		}
 	}()
@@ -149,7 +160,7 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 		go func() {
 			defer wg.Done()
 			for ck := range cks {
-				results[ck.id] = r.runInterval(cfg, p, ck)
+				results[ck.id] = r.runInterval(bench, label, cfg, p, ck)
 			}
 		}()
 	}
@@ -195,22 +206,42 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 
 // runInterval simulates one detailed window from its checkpoint. Panics
 // (core bugs, simcheck violations) surface as errors tagged with the
-// interval id rather than killing the worker pool.
-func (r *Runner) runInterval(cfg core.Config, p *prog.Program, ck checkpoint) (ir intervalResult) {
+// interval id rather than killing the worker pool; a dying interval dumps
+// its flight recorder first when FlightDumpDir is set.
+func (r *Runner) runInterval(bench, label string, cfg core.Config, p *prog.Program, ck checkpoint) (ir intervalResult) {
 	ir.id = ck.id
+	m := r.opts.Monitor
+	var c *core.Core
 	defer func() {
 		if rec := recover(); rec != nil {
+			if c != nil {
+				name := fmt.Sprintf("flight-%s-%s-i%d", bench, label, ck.id)
+				if path := writeFlightDump(r.opts.FlightDumpDir, name, c); path != "" {
+					rec = fmt.Sprintf("%v\n  (flight recorder dumped to %s)", rec, path)
+				}
+			}
 			ir.err = fmt.Errorf("interval %d: %v", ck.id, rec)
 		}
+		if m != nil {
+			m.Done(bench, label, ck.id)
+		}
 	}()
-	c := core.NewFromArch(cfg, p, ck.st)
+	c = core.NewFromArch(cfg, p, ck.st)
 	var chk *simcheck.Checker
 	if r.opts.Check || simcheck.TagEnabled {
 		chk = simcheck.AttachResumed(c, p, simcheck.Options{})
 	}
-	c.Run(ck.warmup)
+	var report func(uint64)
+	if m != nil {
+		report = func(done uint64) { m.Progress(bench, label, ck.id, done) }
+		m.Phase(bench, label, ck.id, "warmup", ck.warmup)
+	}
+	chunkRun(c, ck.warmup, report)
 	c.ResetStats()
-	ir.st = c.Run(ck.measure)
+	if m != nil {
+		m.Phase(bench, label, ck.id, "measure", ck.measure)
+	}
+	ir.st = chunkRun(c, ck.measure, report)
 	if chk != nil {
 		chk.Finish()
 	}

@@ -326,6 +326,12 @@ func (h *Hierarchy) TotalDRAMRequests() uint64 {
 // OutstandingDataMisses returns the number of in-flight L1D misses.
 func (h *Hierarchy) OutstandingDataMisses() int { return h.l1dMSHR.Outstanding() }
 
+// MSHRFiles returns the three MSHR files (instruction, data, LLC) so the
+// self-profiling exporter can read their pool counters.
+func (h *Hierarchy) MSHRFiles() (l1i, l1d, llc *cache.MSHRFile) {
+	return h.l1iMSHR, h.l1dMSHR, h.llcMSHR
+}
+
 // scheduleEv enqueues ev to fire at cycle (clamped to at least the next
 // cycle, like every hierarchy hop).
 func (h *Hierarchy) scheduleEv(cycle int64, ev event) {

@@ -22,20 +22,32 @@ import (
 // path); this rule pins where such bumps are ever allowed to live.
 var StatsHygiene = &Analyzer{
 	Name: "statshygiene",
-	Doc:  "stats objects must be built with their registering constructors; core.Stats fields are written only by core",
+	Doc:  "stats objects and metrics instruments must be built with their registering constructors; core.Stats fields are written only by core",
 	Run:  runStatsHygiene,
 }
 
-// statsTypes are the constructor-only types of the stats package.
-var statsTypes = map[string]string{
-	"Histogram": "stats.NewHistogram",
-	"Set":       "stats.NewSet",
-	"Counter":   "stats.NewCounter",
-	"Timeline":  "stats.NewTimeline",
+// constructorOnly lists, per owning package, the types that must come from a
+// registering constructor. The stats types validate their geometry there;
+// the metrics instruments are live registry entries — a bare metrics.Counter
+// is invisible to every exporter and violates the same ownership rule the
+// stats dump relies on.
+var constructorOnly = map[string]map[string]string{
+	"stats": {
+		"Histogram": "stats.NewHistogram",
+		"Set":       "stats.NewSet",
+		"Counter":   "stats.NewCounter",
+		"Timeline":  "stats.NewTimeline",
+	},
+	"metrics": {
+		"Counter":   "Registry.Counter",
+		"Gauge":     "Registry.Gauge",
+		"Histogram": "Registry.Histogram",
+		"Rate":      "Registry.Rate",
+	},
 }
 
 func runStatsHygiene(pass *Pass) {
-	if pass.Types.Name() == "stats" {
+	if _, owns := constructorOnly[pass.Types.Name()]; owns {
 		return
 	}
 	ownStats := pass.Types.Name() == "core"
@@ -60,7 +72,7 @@ func runStatsHygiene(pass *Pass) {
 				}
 			case *ast.CompositeLit:
 				if name, ctor, ok := statsType(pass.Info.TypeOf(n)); ok {
-					pass.Reportf(n.Pos(), "bare stats.%s literal: construct it with %s, which validates and registers the instance", name, ctor)
+					pass.Reportf(n.Pos(), "bare %s literal: construct it with %s, which validates and registers the instance", name, ctor)
 				}
 			case *ast.CallExpr:
 				// new(stats.T)
@@ -72,7 +84,7 @@ func runStatsHygiene(pass *Pass) {
 					return true
 				}
 				if name, ctor, ok := statsType(pass.Info.TypeOf(n.Args[0])); ok {
-					pass.Reportf(n.Pos(), "new(stats.%s) bypasses %s: the zero value is unvalidated and unregistered", name, ctor)
+					pass.Reportf(n.Pos(), "new(%s) bypasses %s: the zero value is unvalidated and unregistered", name, ctor)
 				}
 			case *ast.ValueSpec:
 				// var h stats.T — a zero value by declaration.
@@ -80,12 +92,12 @@ func runStatsHygiene(pass *Pass) {
 					return true
 				}
 				if name, ctor, ok := statsValueType(pass.Info.TypeOf(n.Type)); ok {
-					pass.Reportf(n.Pos(), "zero-value stats.%s declaration: declare a pointer and assign %s", name, ctor)
+					pass.Reportf(n.Pos(), "zero-value %s declaration: declare a pointer and assign %s", name, ctor)
 				}
 			case *ast.StructType:
 				for _, field := range n.Fields.List {
 					if name, ctor, ok := statsValueType(pass.Info.TypeOf(field.Type)); ok {
-						pass.Reportf(field.Pos(), "embedded stats.%s value field: hold a pointer obtained from %s", name, ctor)
+						pass.Reportf(field.Pos(), "embedded %s value field: hold a pointer obtained from %s", name, ctor)
 					}
 				}
 			}
@@ -130,16 +142,21 @@ func coreStatsField(pass *Pass, e ast.Expr) (string, bool) {
 	return sel.Sel.Name, true
 }
 
-// statsValueType matches only the value form T.
+// statsValueType matches only the value form T of a constructor-only type,
+// returning its package-qualified name and constructor.
 func statsValueType(t types.Type) (name, ctor string, ok bool) {
 	named, isNamed := t.(*types.Named)
 	if !isNamed {
 		return "", "", false
 	}
 	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Name() != "stats" {
+	if obj.Pkg() == nil {
 		return "", "", false
 	}
-	ctor, ok = statsTypes[obj.Name()]
-	return obj.Name(), ctor, ok
+	pkgTypes, owns := constructorOnly[obj.Pkg().Name()]
+	if !owns {
+		return "", "", false
+	}
+	ctor, ok = pkgTypes[obj.Name()]
+	return obj.Pkg().Name() + "." + obj.Name(), ctor, ok
 }

@@ -90,6 +90,53 @@ func tally(c *core.Core) uint64 {
 	}
 }
 
+// TestStatsHygieneMetricsInstruments checks the telemetry extension of the
+// ownership rule: metrics instruments must come from a Registry (which is
+// what exporters walk), never from bare literals or zero values. The metrics
+// package itself is exempt like stats is.
+func TestStatsHygieneMetricsInstruments(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/metrics": {"metrics.go": `package metrics
+
+type Counter struct{ v uint64 }
+type Gauge struct{ v int64 }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge     { return &Gauge{} }
+`},
+		"fix/internal/core": {"core.go": `package core
+
+import "fix/internal/metrics"
+
+type prof struct {
+	C metrics.Counter
+	P *metrics.Counter
+}
+
+var bare = metrics.Counter{}
+var boxed = new(metrics.Gauge)
+var zero metrics.Gauge
+var reg metrics.Registry
+var good = reg.Counter("x", "help")
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", StatsHygiene)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{6, "metrics.Counter value field"},
+		{10, "bare metrics.Counter literal"},
+		{11, "new(metrics.Gauge)"},
+		{12, "zero-value metrics.Gauge"},
+	})
+	if d := runFixture(t, fixture, "fix/internal/metrics", StatsHygiene); len(d) != 0 {
+		t.Fatalf("metrics package should be exempt, got %v", d)
+	}
+}
+
 // TestStatsHygieneExemptsStatsPackage checks the constructors' own package
 // may build literals.
 func TestStatsHygieneExemptsStatsPackage(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // TimelineSample is one per-interval snapshot of the machine: the interval's
@@ -78,15 +79,50 @@ func (t *Timeline) Samples() []TimelineSample {
 	return out
 }
 
-// WriteCSV renders the timeline as CSV with a header row, one row per
-// sample.
+// timelineColumns is the single source of truth for the CSV export schema.
+// Column names are exactly the JSON keys of TimelineSample, in field order,
+// so rows from the two export formats join column-for-column; the units row
+// and per-sample formatting derive from the same table, which keeps the
+// formats from drifting apart (timeline_test.go checks the CSV header
+// against the marshalled JSON keys).
+var timelineColumns = []struct {
+	name string // JSON key of the TimelineSample field
+	unit string
+	fmt  func(*TimelineSample) string
+}{
+	{"cycle", "cycle", func(s *TimelineSample) string { return fmt.Sprintf("%d", s.Cycle) }},
+	{"committed", "uops", func(s *TimelineSample) string { return fmt.Sprintf("%d", s.Committed) }},
+	{"ipc", "uops/cycle", func(s *TimelineSample) string { return fmt.Sprintf("%.4f", s.IPC) }},
+	{"robOcc", "entries", func(s *TimelineSample) string { return fmt.Sprintf("%.2f", s.ROBOcc) }},
+	{"mshrOcc", "misses", func(s *TimelineSample) string { return fmt.Sprintf("%.2f", s.MSHROcc) }},
+	{"mode", "enum", func(s *TimelineSample) string { return s.Mode }},
+	{"runaheadFrac", "fraction", func(s *TimelineSample) string { return fmt.Sprintf("%.3f", s.RunaheadFrac) }},
+	{"chainCacheHitRate", "fraction", func(s *TimelineSample) string { return fmt.Sprintf("%.3f", s.ChainCacheHitRate) }},
+}
+
+// WriteCSV renders the timeline as CSV: a header row naming each column with
+// its TimelineSample JSON key (so CSV and JSON exports share one schema), a
+// "# units:" comment row (skipped by readers configured with comment='#'),
+// then one row per sample, oldest first.
 func (t *Timeline) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "cycle,committed,ipc,rob_occ,mshr_occ,mode,runahead_frac,chain_cache_hit_rate"); err != nil {
+	names := make([]string, len(timelineColumns))
+	units := make([]string, len(timelineColumns))
+	for i, col := range timelineColumns {
+		names[i] = col.name
+		units[i] = col.unit
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
 		return err
 	}
+	if _, err := fmt.Fprintf(w, "# units: %s\n", strings.Join(units, ",")); err != nil {
+		return err
+	}
+	fields := make([]string, len(timelineColumns))
 	for _, s := range t.Samples() {
-		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.2f,%.2f,%s,%.3f,%.3f\n",
-			s.Cycle, s.Committed, s.IPC, s.ROBOcc, s.MSHROcc, s.Mode, s.RunaheadFrac, s.ChainCacheHitRate); err != nil {
+		for i, col := range timelineColumns {
+			fields[i] = col.fmt(&s)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
 			return err
 		}
 	}

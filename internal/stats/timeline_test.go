@@ -51,14 +51,54 @@ func TestTimelineCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("CSV = %q, want header + 1 row", sb.String())
+	if len(lines) != 3 {
+		t.Fatalf("CSV = %q, want header + units + 1 row", sb.String())
 	}
-	if lines[0] != "cycle,committed,ipc,rob_occ,mshr_occ,mode,runahead_frac,chain_cache_hit_rate" {
+	if lines[0] != "cycle,committed,ipc,robOcc,mshrOcc,mode,runaheadFrac,chainCacheHitRate" {
 		t.Fatalf("CSV header = %q", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "10,25,2.5000,100.25,") {
-		t.Fatalf("CSV row = %q", lines[1])
+	if lines[1] != "# units: cycle,uops,uops/cycle,entries,misses,enum,fraction,fraction" {
+		t.Fatalf("CSV units row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "10,25,2.5000,100.25,") {
+		t.Fatalf("CSV row = %q", lines[2])
+	}
+}
+
+// TestTimelineCSVMatchesJSONKeys pins the schema contract: the CSV header
+// names are exactly the JSON keys of TimelineSample, in marshalling order, so
+// the two export formats describe the same columns.
+func TestTimelineCSVMatchesJSONKeys(t *testing.T) {
+	b, err := json.Marshal(TimelineSample{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asMap map[string]any
+	if err := json.Unmarshal(b, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if len(asMap) != len(timelineColumns) {
+		t.Fatalf("TimelineSample has %d JSON keys but the CSV schema has %d columns — update timelineColumns", len(asMap), len(timelineColumns))
+	}
+	for _, col := range timelineColumns {
+		if _, ok := asMap[col.name]; !ok {
+			t.Errorf("CSV column %q is not a TimelineSample JSON key", col.name)
+		}
+	}
+	// Marshalling order follows struct field order; the CSV table must too.
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.Token() // consume '{'
+	for i := 0; dec.More(); i++ {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := tok.(string)
+		if key != timelineColumns[i].name {
+			t.Fatalf("column %d: CSV has %q, JSON has %q — orders differ", i, timelineColumns[i].name, key)
+		}
+		var skip any
+		dec.Decode(&skip)
 	}
 }
 

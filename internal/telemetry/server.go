@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"runaheadsim/internal/metrics"
+)
+
+// Server serves the introspection endpoints:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/metrics.json   the same registry as a JSON array
+//	/healthz        liveness: {"status":"ok","uptimeSec":...,"pid":...}
+//	/progress       sweep progress JSON; ?stream=1 (or Accept:
+//	                text/event-stream) upgrades to SSE, one snapshot per tick
+//	/debug/vars     expvar
+//	/debug/pprof/   the standard pprof index, profiles, and traces
+//
+// The mux is private: nothing registers on http.DefaultServeMux.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	startNS int64
+}
+
+// Start binds addr (e.g. "localhost:9102", ":0" for an ephemeral port) and
+// serves in a background goroutine. reg supplies /metrics and /metrics.json
+// (nil means metrics.Default); tr supplies /progress (nil serves an empty
+// snapshot, so dashboards can poll a plain runahead-sim too).
+func Start(addr string, reg *metrics.Registry, tr *Tracker) (*Server, error) {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, startNS: wallNanos()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":    "ok",
+			"uptimeSec": float64(wallNanos()-s.startNS) / 1e9,
+			"pid":       os.Getpid(),
+		})
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") == "1" || r.Header.Get("Accept") == "text/event-stream" {
+			s.streamProgress(w, r, tr)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snapshotOf(tr))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+func snapshotOf(tr *Tracker) ProgressSnapshot {
+	if tr == nil {
+		return ProgressSnapshot{}
+	}
+	return tr.Snapshot()
+}
+
+// streamProgress serves Server-Sent Events: one `data: <snapshot JSON>` frame
+// immediately, then one per tick (default 1s, ?intervalMs= to change) until
+// the client disconnects.
+func (s *Server) streamProgress(w http.ResponseWriter, r *http.Request, tr *Tracker) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	period := time.Second
+	if ms := r.URL.Query().Get("intervalMs"); ms != "" {
+		var v int
+		if _, err := fmt.Sscanf(ms, "%d", &v); err == nil && v >= 100 {
+			period = time.Duration(v) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := func() bool {
+		b, err := json.Marshal(snapshotOf(tr))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !enc() {
+		return
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !enc() {
+				return
+			}
+		}
+	}
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9102" (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"runaheadsim/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test_requests_total", "requests").Add(7)
+	reg.Gauge("test_depth", "queue depth").Set(3)
+
+	tr := NewTracker()
+	tr.SetTotalRuns(10)
+	tr.RunStart("mcf", "Base")
+	tr.Phase("mcf", "Base", 2, "measure", 1000)
+	tr.Progress("mcf", "Base", 2, 250)
+
+	s, err := Start("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# HELP test_requests_total requests",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 7",
+		"test_depth 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var exported []metrics.JSONMetric
+	if err := json.Unmarshal([]byte(body), &exported); err != nil {
+		t.Fatalf("/metrics.json invalid JSON: %v\n%s", err, body)
+	}
+	if len(exported) != 2 {
+		t.Fatalf("/metrics.json has %d metrics, want 2", len(exported))
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress invalid JSON: %v", err)
+	}
+	if snap.RunsTotal != 10 || snap.RunsStarted != 1 || len(snap.Units) != 1 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	u := snap.Units[0]
+	if u.Bench != "mcf" || u.Interval != 2 || u.Phase != "measure" || u.DoneUops != 250 {
+		t.Fatalf("unexpected unit: %+v", u)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		if code, _ := get(t, base+path); code != 200 {
+			t.Errorf("%s status %d", path, code)
+		}
+	}
+}
+
+func TestServerNilTrackerAndDefaultRegistry(t *testing.T) {
+	s, err := Start("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("empty progress invalid JSON: %v", err)
+	}
+	if code, _ := get(t, "http://"+s.Addr()+"/metrics"); code != 200 {
+		t.Fatalf("/metrics with default registry: status %d", code)
+	}
+}
+
+func TestProgressSSE(t *testing.T) {
+	tr := NewTracker()
+	tr.Phase("mcf", "RB", -1, "fast-forward", 0)
+	s, err := Start("127.0.0.1:0", metrics.NewRegistry(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr() + "/progress?stream=1&intervalMs=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// Two frames prove the ticker refires, not just the initial send.
+	r := bufio.NewReader(resp.Body)
+	frames := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for frames < 2 && time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var snap ProgressSnapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &snap); err != nil {
+			t.Fatalf("SSE frame invalid JSON: %v in %q", err, line)
+		}
+		if len(snap.Units) != 1 || snap.Units[0].Phase != "fast-forward" {
+			t.Fatalf("unexpected SSE snapshot: %+v", snap)
+		}
+		frames++
+	}
+	if frames < 2 {
+		t.Fatal("did not receive two SSE frames in time")
+	}
+}
+
+func TestTrackerRatesAndETA(t *testing.T) {
+	tr := NewTracker()
+	clock := int64(0)
+	tr.SetClock(func() int64 { return clock })
+
+	tr.SetTotalRuns(4)
+	tr.RunStart("mcf", "Base")
+	tr.Phase("mcf", "Base", 0, "measure", 1_000_000)
+	clock = 2e9 // 2s in
+	tr.Progress("mcf", "Base", 0, 500_000)
+
+	s := tr.Snapshot()
+	if s.ElapsedSec != 2 {
+		t.Fatalf("elapsed = %v, want 2", s.ElapsedSec)
+	}
+	u := s.Units[0]
+	if u.UopsPerSec != 250_000 {
+		t.Fatalf("rate = %v, want 250000", u.UopsPerSec)
+	}
+	if u.ETASec != 2 { // 500k remaining at 250k/s
+		t.Fatalf("unit ETA = %v, want 2", u.ETASec)
+	}
+
+	// Sweep ETA: 1 of 4 runs done after 4s → 12s left.
+	clock = 4e9
+	tr.RunDone("mcf", "Base")
+	s = tr.Snapshot()
+	if s.RunsDone != 1 || s.ETASec != 12 {
+		t.Fatalf("sweep ETA = %v (done %d), want 12", s.ETASec, s.RunsDone)
+	}
+	if len(s.Units) != 0 {
+		t.Fatal("RunDone must clear the run's units")
+	}
+
+	// Done removes a unit explicitly.
+	tr.Phase("lbm", "RB", 1, "warmup", 10)
+	tr.Done("lbm", "RB", 1)
+	if len(tr.Snapshot().Units) != 0 {
+		t.Fatal("Done must remove the unit")
+	}
+}

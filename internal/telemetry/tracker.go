@@ -1,0 +1,196 @@
+// Package telemetry is the live introspection layer: an HTTP server exposing
+// the metrics registry (Prometheus text and JSON), sweep progress (polling
+// JSON and SSE streaming), health, expvar, and pprof — all on a private mux
+// so importing this package never pollutes http.DefaultServeMux.
+//
+// Everything here lives on the observability side of the simulator's flush
+// boundary: it reads wall time and runs goroutines, but simulated results
+// never depend on anything it does. A simulation with no -telemetry-addr
+// never constructs any of it.
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// wallNanos is the telemetry clock. Wall time never reaches simulation code:
+// progress rates and ETAs describe the simulator's own speed, and simulated
+// results are independent of anything derived from them.
+func wallNanos() int64 {
+	//simlint:allow determinism -- telemetry measures wall time by design; simulated results never read it
+	return time.Now().UnixNano()
+}
+
+// Tracker aggregates live progress from harness workers. Its method set
+// matches the harness Monitor interface structurally, so the harness never
+// imports this package (and vice versa). All methods are safe for concurrent
+// use — sampled intervals and prewarmed sweeps report from many goroutines.
+type Tracker struct {
+	mu  sync.Mutex
+	now func() int64 // nanoseconds; injectable for tests
+
+	startNS     int64
+	runsTotal   int
+	runsStarted int
+	runsDone    int
+
+	units map[string]*unit
+}
+
+// unit is one in-flight piece of work: a full-detail run, one sampled
+// interval, or the fast-forward pass (interval -1 covers the non-interval
+// cases).
+type unit struct {
+	bench, config string
+	interval      int
+	phase         string
+	done, total   uint64
+	phaseStartNS  int64
+}
+
+// NewTracker returns an empty tracker using the wall clock.
+func NewTracker() *Tracker {
+	t := &Tracker{now: wallNanos, units: make(map[string]*unit)}
+	t.startNS = t.now()
+	return t
+}
+
+// SetClock replaces the wall clock (tests).
+func (t *Tracker) SetClock(now func() int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.startNS = now()
+}
+
+// SetTotalRuns declares how many runs the sweep plans, enabling the
+// sweep-level ETA. Zero means unknown.
+func (t *Tracker) SetTotalRuns(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.runsTotal = n
+}
+
+func unitKey(bench, config string, interval int) string {
+	return bench + "|" + config + "|" + strconv.Itoa(interval)
+}
+
+// RunStart reports that a (benchmark, configuration) run began.
+func (t *Tracker) RunStart(bench, config string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.runsStarted++
+}
+
+// RunDone reports that a run finished; its remaining units are cleared.
+func (t *Tracker) RunDone(bench, config string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.runsDone++
+	for k, u := range t.units { //simlint:allow determinism -- deleting matching keys; order cannot matter
+		if u.bench == bench && u.config == config {
+			delete(t.units, k)
+		}
+	}
+}
+
+// Phase reports one unit entering a phase ("fast-forward", "warmup",
+// "measure") with a committed-uop goal (0 = unknown).
+func (t *Tracker) Phase(bench, config string, interval int, phase string, total uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := unitKey(bench, config, interval)
+	u := t.units[k]
+	if u == nil {
+		u = &unit{bench: bench, config: config, interval: interval}
+		t.units[k] = u
+	}
+	u.phase = phase
+	u.done, u.total = 0, total
+	u.phaseStartNS = t.now()
+}
+
+// Progress reports committed uops completed within the unit's current phase.
+func (t *Tracker) Progress(bench, config string, interval int, done uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if u := t.units[unitKey(bench, config, interval)]; u != nil {
+		u.done = done
+	}
+}
+
+// Done reports the unit finished and removes it from the live view.
+func (t *Tracker) Done(bench, config string, interval int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.units, unitKey(bench, config, interval))
+}
+
+// ProgressSnapshot is the /progress payload.
+type ProgressSnapshot struct {
+	ElapsedSec  float64        `json:"elapsedSec"`
+	RunsTotal   int            `json:"runsTotal"` // 0 = unknown
+	RunsStarted int            `json:"runsStarted"`
+	RunsDone    int            `json:"runsDone"`
+	ETASec      float64        `json:"etaSec"` // whole-sweep estimate; 0 = unknown
+	Units       []UnitSnapshot `json:"units"`
+}
+
+// UnitSnapshot is one in-flight unit of work in a ProgressSnapshot.
+type UnitSnapshot struct {
+	Bench      string  `json:"bench"`
+	Config     string  `json:"config"`
+	Interval   int     `json:"interval"` // -1 for full-detail runs and fast-forward
+	Phase      string  `json:"phase"`
+	DoneUops   uint64  `json:"doneUops"`
+	TotalUops  uint64  `json:"totalUops"` // 0 = unknown
+	UopsPerSec float64 `json:"uopsPerSec"`
+	ETASec     float64 `json:"etaSec"` // phase estimate; 0 = unknown
+}
+
+// Snapshot renders the current progress state. Units are sorted by
+// (bench, config, interval) so repeated snapshots of the same state are
+// byte-identical when serialized.
+func (t *Tracker) Snapshot() ProgressSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	s := ProgressSnapshot{
+		ElapsedSec:  float64(now-t.startNS) / 1e9,
+		RunsTotal:   t.runsTotal,
+		RunsStarted: t.runsStarted,
+		RunsDone:    t.runsDone,
+	}
+	if t.runsTotal > 0 && t.runsDone > 0 && t.runsDone < t.runsTotal {
+		perRun := s.ElapsedSec / float64(t.runsDone)
+		s.ETASec = perRun * float64(t.runsTotal-t.runsDone)
+	}
+	s.Units = make([]UnitSnapshot, 0, len(t.units))
+	for _, u := range t.units { //simlint:allow determinism -- collected then sorted below
+		us := UnitSnapshot{
+			Bench: u.bench, Config: u.config, Interval: u.interval,
+			Phase: u.phase, DoneUops: u.done, TotalUops: u.total,
+		}
+		if dt := float64(now-u.phaseStartNS) / 1e9; dt > 0 && u.done > 0 {
+			us.UopsPerSec = float64(u.done) / dt
+			if u.total > u.done {
+				us.ETASec = float64(u.total-u.done) / us.UopsPerSec
+			}
+		}
+		s.Units = append(s.Units, us)
+	}
+	sort.Slice(s.Units, func(i, j int) bool {
+		a, b := &s.Units[i], &s.Units[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Interval < b.Interval
+	})
+	return s
+}

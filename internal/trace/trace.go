@@ -51,6 +51,10 @@ const (
 	// Sample: a periodic occupancy snapshot (ROBOcc, MSHROcc) feeding the
 	// Chrome counter tracks.
 	Sample
+	// Mark: an out-of-band annotation (Op carries the message). The flight
+	// recorder uses it to pin terminal conditions — a watchdog trip, a
+	// simcheck violation — into the ring right before the dump.
+	Mark
 
 	numKinds
 )
@@ -80,6 +84,8 @@ func (k Kind) String() string {
 		return "dram"
 	case Sample:
 		return "sample"
+	case Mark:
+		return "mark"
 	default:
 		return "unknown"
 	}
@@ -224,6 +230,8 @@ func (s *TextSink) Emit(ev *Event) {
 		fmt.Fprintf(s.w, "dram     line=%#x op=%s rowhit=%v", ev.Line, op, ev.RowHit)
 	case Sample:
 		fmt.Fprintf(s.w, "sample   rob=%d mshr=%d", ev.ROBOcc, ev.MSHROcc)
+	case Mark:
+		fmt.Fprintf(s.w, "mark     %s", ev.Op)
 	default:
 		fmt.Fprintf(s.w, "%s", ev.Kind)
 	}
@@ -316,6 +324,9 @@ func (s *JSONLSink) Emit(ev *Event) {
 		b = strconv.AppendInt(b, int64(ev.ROBOcc), 10)
 		b = append(b, `,"mshr":`...)
 		b = strconv.AppendInt(b, int64(ev.MSHROcc), 10)
+	case Mark:
+		b = append(b, `,"msg":`...)
+		b = strconv.AppendQuote(b, ev.Op)
 	}
 	b = append(b, '}', '\n')
 	s.buf = b

@@ -105,6 +105,31 @@ type Config struct {
 	// offending uop, cycle, and CPI-stack context. See DESIGN.md
 	// "Correctness tooling".
 	Check bool
+	// WatchdogCycles overrides the core's deadlock watchdog: positive sets
+	// the no-progress cycle budget, negative disables it, 0 keeps the
+	// default.
+	WatchdogCycles int64
+	// FlightDumpDir, when non-empty, is where a dying run writes its flight
+	// recorder (the ring of recent trace events every core keeps) as JSONL
+	// before the panic propagates. See DESIGN.md "Live telemetry & flight
+	// recorder".
+	FlightDumpDir string
+	// Monitor, when non-nil, receives live phase/progress callbacks from
+	// the run (telemetry.Tracker satisfies this; so does any equivalent
+	// implementation). Must be safe for concurrent use.
+	Monitor Monitor
+}
+
+// Monitor receives live progress callbacks from simulated runs; it mirrors
+// the harness monitor interface so callers outside the module can plug in a
+// telemetry tracker (or their own implementation) without importing internal
+// packages. Implementations must be safe for concurrent use.
+type Monitor interface {
+	RunStart(bench, config string)
+	RunDone(bench, config string)
+	Phase(bench, config string, interval int, phase string, total uint64)
+	Progress(bench, config string, interval int, done uint64)
+	Done(bench, config string, interval int)
 }
 
 // Result summarizes a simulation.
@@ -176,13 +201,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("runaheadsim: unknown benchmark %q (have %s)",
 			cfg.Benchmark, strings.Join(names, ", "))
 	}
-	r := harness.NewRunner(harness.Options{
+	opts := harness.Options{
 		MeasureUops:      cfg.MeasureUops,
 		WarmupUops:       cfg.WarmupUops,
 		TimelineInterval: cfg.TimelineInterval,
 		TimelineSamples:  cfg.TimelineSamples,
 		Check:            cfg.Check,
-	})
+		WatchdogCycles:   cfg.WatchdogCycles,
+		FlightDumpDir:    cfg.FlightDumpDir,
+	}
+	if cfg.Monitor != nil {
+		opts.Monitor = cfg.Monitor
+	}
+	r := harness.NewRunner(opts)
 	rc := harness.RunConfig{Mode: cm, Enhancements: cfg.Enhancements, Prefetch: cfg.Prefetcher, DepTrack: cfg.DepTrack}
 	res := r.Result(cfg.Benchmark, rc)
 	base := res

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Telemetry smoke test (make telemetry-smoke, CI "telemetry" job).
+#
+# Checks the live-introspection acceptance criteria end to end:
+#   1. `-tags nometrics` still builds (the compile-out path stays green).
+#   2. Every telemetry endpoint serves while a parallel sampled sweep is
+#      actually running: /healthz, /metrics (with engine counters),
+#      /metrics.json, /progress (with live units), /debug/vars, and an SSE
+#      frame from /progress?stream=1.
+#   3. A forced watchdog trip (-watchdog 50) fails the run AND leaves a
+#      non-empty flight-recorder JSONL dump whose path is in the error.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+trap 'test -n "$pid" && kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+echo "== build (including -tags nometrics)"
+go build -o "$tmp/sweep" ./cmd/runahead-sweep
+go build -o "$tmp/sim" ./cmd/runahead-sim
+go build -tags nometrics ./...
+
+echo "== live sweep with telemetry"
+"$tmp/sweep" -experiments figure9 -benchmarks mcf,lbm,libquantum,milc \
+    -uops 400000 -sample -j 4 -q -telemetry-addr 127.0.0.1:0 \
+    -out /dev/null 2>"$tmp/sweep.log" &
+pid=$!
+
+# The server logs its bound address (port 0 = ephemeral) on startup.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|^telemetry: http://\([^/]*\)/.*|\1|p' "$tmp/sweep.log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$tmp/sweep.log"; echo "FAIL: sweep exited before serving"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "FAIL: telemetry address never appeared"; exit 1; }
+echo "   serving on $addr"
+
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"'
+echo "   /healthz ok"
+
+# Engine counters register when the first core is built; retry briefly.
+i=0
+until curl -fsS "http://$addr/metrics" | grep -q '^sim_cycles_total'; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || { echo "FAIL: sim_cycles_total never showed up in /metrics"; exit 1; }
+    sleep 0.1
+done
+curl -fsS "http://$addr/metrics" | grep -q '^# TYPE core_warp_skip_cycles histogram'
+echo "   /metrics ok"
+
+curl -fsS "http://$addr/metrics.json" | grep -q '"name"'
+echo "   /metrics.json ok"
+
+curl -fsS "http://$addr/progress" | grep -q '"runsTotal":20'
+echo "   /progress ok"
+
+curl -fsS "http://$addr/debug/vars" | grep -q '"memstats"'
+echo "   /debug/vars ok"
+
+# One SSE frame is enough; curl's --max-time abort is expected.
+curl -sS -N --max-time 3 "http://$addr/progress?stream=1&intervalMs=200" \
+    >"$tmp/sse" 2>/dev/null || true
+grep -q '^data: {' "$tmp/sse"
+echo "   /progress?stream=1 ok"
+
+wait "$pid" || { cat "$tmp/sweep.log"; echo "FAIL: sweep failed"; exit 1; }
+pid=""
+echo "   sweep completed"
+
+echo "== forced watchdog trip dumps the flight recorder"
+if "$tmp/sim" -bench mcf -mode baseline -uops 50000 -watchdog 50 \
+    -flight-dump "$tmp/flight" >/dev/null 2>"$tmp/trip.log"; then
+    echo "FAIL: watchdog run unexpectedly succeeded"
+    exit 1
+fi
+grep -q "watchdog" "$tmp/trip.log"
+grep -q "flight recorder dumped to" "$tmp/trip.log"
+dump="$tmp/flight/flight-mcf-Base.jsonl"
+[ -s "$dump" ] || { echo "FAIL: flight dump missing or empty"; exit 1; }
+grep -q '"kind":"mark"' "$dump"
+echo "   dump ok: $(wc -l <"$dump") events in ${dump##*/}"
+
+echo "telemetry smoke: PASS"
