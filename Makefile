@@ -8,12 +8,14 @@ test:
 vet:
 	go vet ./...
 
-# Static analysis: go vet plus the repo-specific simlint analyzers
-# (determinism, stats hygiene, trace hygiene). See DESIGN.md, "Correctness
-# tooling".
+# Static analysis: go vet plus the repo-specific simlint analyzers —
+# expression rules (determinism, stats hygiene, trace hygiene) and contract
+# analyzers (snapshot completeness, fingerprint coverage, hot-path
+# allocation-freedom, lock discipline), plus suppression hygiene over every
+# //simlint: directive. See DESIGN.md §12, "Contract analyzers".
 lint:
 	go vet ./...
-	go run ./cmd/simlint ./internal/... ./cmd/...
+	go run ./cmd/simlint
 
 # Runtime sanitizer: the simcheck build tag attaches the lockstep
 # architectural oracle and per-cycle invariant sweep to every simulation the

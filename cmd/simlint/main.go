@@ -1,17 +1,24 @@
 // Command simlint runs the repository's static-analysis pass: repo-specific
-// analyzers (determinism, stats hygiene, trace hygiene) built purely on
-// go/ast and go/types. It exits nonzero if any finding survives the
+// analyzers built purely on go/ast and go/types — the expression-level
+// checks (determinism, stats hygiene, trace hygiene) and the whole-program
+// contract analyzers (snapshotcomplete, fingerprint, hotpathalloc,
+// lockdiscipline). It exits nonzero if any finding survives the
 // //simlint:allow suppressions.
 //
 // Usage:
 //
-//	go run ./cmd/simlint [patterns...]
+//	go run ./cmd/simlint [-json] [-list] [patterns...]
 //
 // Patterns are go-style ("./...", "./internal/...", "./cmd/simlint") and
-// default to ./internal/... ./cmd/... relative to the enclosing module root.
+// default to ./... relative to the enclosing module root.
+//
+// -json prints findings as a JSON array ({file, line, col, analyzer,
+// message}) for tooling; -list prints the analyzer roster (one name per
+// line) so CI can assert the analyzer count never regresses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,19 +26,37 @@ import (
 	"runaheadsim/internal/simlint"
 )
 
+// jsonDiag is the machine-readable finding shape.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
+	list := flag.Bool("list", false, "print analyzer names, one per line, and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [patterns...]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-list] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range simlint.All {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-17s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	if *list {
+		for _, a := range simlint.All {
+			fmt.Println(a.Name)
+		}
+		return
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
-		patterns = []string{"./internal/...", "./cmd/..."}
+		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
@@ -46,15 +71,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := simlint.Run(pkgs, simlint.All)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags, err := simlint.Run(pkgs, simlint.All, simlint.Options{Root: root})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
-	fmt.Printf("simlint: %d packages clean\n", len(pkgs))
+	if !*jsonOut {
+		fmt.Printf("simlint: %d packages clean (%d analyzers)\n", len(pkgs), len(simlint.All))
+	}
 }
 
 func fatal(err error) {

@@ -47,8 +47,8 @@ type line struct {
 type Cache struct {
 	cfg       Config
 	sets      [][]line
-	lineShift uint
-	setMask   uint64
+	lineShift uint   //simlint:nosnapshot derived from cfg geometry by the constructor
+	setMask   uint64 //simlint:nosnapshot derived from cfg geometry by the constructor
 	stamp     uint64
 
 	// Statistics.

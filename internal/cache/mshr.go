@@ -64,8 +64,8 @@ type MSHRFile struct {
 	// Allocate outcomes against the recycle pool. PoolHits reuse an entry
 	// (and its waiter-list backing array); PoolNews hit the Go allocator.
 	// A warm file should be ~all hits after the first few misses.
-	PoolHits uint64
-	PoolNews uint64
+	PoolHits uint64 //simlint:nosnapshot simulator self-profiling, not simulated state
+	PoolNews uint64 //simlint:nosnapshot simulator self-profiling, not simulated state
 
 	// Lifetime conservation counters. Unlike Allocs (zeroed by ResetStats
 	// while entries are outstanding), these are never reset, so
@@ -76,6 +76,7 @@ type MSHRFile struct {
 
 	// free holds recycled entries (see Recycle); their waiter-list backing
 	// arrays are kept so steady-state misses allocate nothing.
+	//simlint:nosnapshot host-side recycle pool; its contents never reach simulated state
 	free []*MSHR
 }
 

@@ -145,12 +145,14 @@ type Config struct {
 	// only; simulated behavior is identical across kinds). The zero value is
 	// SchedEvent. Excluded from the snapshot configuration fingerprint so
 	// snapshots from either kind interoperate.
+	//simlint:nofingerprint simulator speed knob; snapshots must interoperate across scheduler kinds
 	Scheduler SchedulerKind
 
 	// ClockMode selects how the simulation clock advances (simulator speed
 	// only; simulated behavior is identical across modes). The zero value is
 	// ClockWarp. Excluded from the snapshot configuration fingerprint so
 	// snapshots from either mode interoperate.
+	//simlint:nofingerprint simulator speed knob; snapshots must interoperate across clock modes
 	ClockMode ClockMode
 
 	// Runahead policy.
@@ -192,6 +194,7 @@ type Config struct {
 	// means the default (512); negative disables the recorder. Simulator
 	// observability only — it never affects simulated behavior — so it is
 	// excluded from the snapshot configuration fingerprint.
+	//simlint:nofingerprint observability ring size; never affects simulated behavior
 	FlightRecorderEvents int
 }
 

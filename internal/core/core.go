@@ -52,7 +52,7 @@ type Core struct {
 
 	prf *regFile
 	ren *renamer
-	rob *robFile
+	rob *robFile //simlint:nosnapshot empty in a drained core; restore targets a freshly constructed machine
 	st  *Stats
 
 	now int64
@@ -66,38 +66,44 @@ type Core struct {
 	fetchPC         uint64
 	fetchStallUntil int64
 	fetchGen        uint64 // bumped on redirects (snapshot/debug epoch marker)
-	icacheWait      bool
-	fetchWaitLine   uint64 // line the live outstanding I-fetch is waiting on
-	lastFetchLine   uint64
-	frontQ          []*DynInst // fetched & decoding; ready for rename at readyAt
-	frontReadyAt    []int64
-	frontHead       int // index of the queue head (see frontPop)
+	icacheWait      bool   //simlint:nosnapshot no I-fetch is outstanding in a drained core
+	//simlint:nosnapshot only meaningful while icacheWait is set, which a drained core never is
+	fetchWaitLine uint64 // line the live outstanding I-fetch is waiting on
+	lastFetchLine uint64
+	//simlint:nosnapshot the front-end queue is empty in a drained core
+	frontQ       []*DynInst // fetched & decoding; ready for rename at readyAt
+	frontReadyAt []int64    //simlint:nosnapshot parallel to frontQ, which drains empty
+	//simlint:nosnapshot head index of frontQ, which drains empty
+	frontHead int // index of the queue head (see frontPop)
 
 	// Back end occupancy.
-	rsCount  int
-	lqCount  int
-	sqCount  int
-	storeBuf []sbEntry
-	sbHead   int
+	rsCount  int       //simlint:nosnapshot zero in a drained core (occupancy counter)
+	lqCount  int       //simlint:nosnapshot zero in a drained core (occupancy counter)
+	sqCount  int       //simlint:nosnapshot zero in a drained core (occupancy counter)
+	storeBuf []sbEntry //simlint:nosnapshot the store buffer drains empty before a snapshot
+	sbHead   int       //simlint:nosnapshot head index of storeBuf, which drains empty
 
 	// Core-internal scheduled events (completions, replays). Slots are
 	// reused in place: firing truncates to length zero, keeping the backing
 	// arrays warm. pendingCoreEvents counts events in the wheel (including
 	// ones whose uop died; they still fire and no-op) so the clock warp can
 	// skip the slot scan entirely when the wheel is empty.
-	events            [eventWindow][]coreEvent
-	pendingCoreEvents int
-	nextCoreEvCache   int64 // lower bound on the earliest pending event's cycle
+	events            [eventWindow][]coreEvent //simlint:nosnapshot the event wheel is empty in a quiesced core
+	pendingCoreEvents int                      //simlint:nosnapshot zero when the wheel is empty
+	//simlint:nosnapshot cache over the empty wheel; recomputed as events are scheduled
+	nextCoreEvCache int64 // lower bound on the earliest pending event's cycle
 
 	// Event-driven wakeup/select scheduler state (see sched.go). Always
 	// allocated; under SchedScan only the store-address index is bypassed and
-	// the wakeup structures stay empty.
+	// the wakeup structures stay empty. The restore path rebuilds it, so the
+	// snapshot-completeness contract sees it referenced.
 	sched issueSched
 
 	// dynPool recycles DynInst allocations. A uop is released exactly once —
 	// at commit, pseudo-retire, squash, or front-end discard — and its gen is
 	// bumped so outstanding lazy references recognize the slot as recycled.
 	// Reuse order is LIFO and deterministic.
+	//simlint:nosnapshot host-side allocation pool; its contents never reach simulated state
 	dynPool []*DynInst
 
 	// Runahead machinery.
@@ -117,17 +123,21 @@ type Core struct {
 	pcScore map[uint64]uint8
 
 	// Instrumentation.
-	dep          *depTracker
-	tracer       *Tracer
-	flight       *trace.Ring // always-on flight recorder (nil when disabled)
-	flightIn     int64       // countdown to the next flight occupancy sample
-	tl           *timelineState
-	onCommit     func(*DynInst) // correct-path retirement hook (simcheck oracle)
-	onCycle      func()         // end-of-cycle hook (simcheck invariants)
+	dep    *depTracker //simlint:nosnapshot DepTrack cores refuse to snapshot (no wire format)
+	tracer *Tracer     //simlint:nosnapshot observability only; the restoring host attaches its own
+	//simlint:nosnapshot observability only; rebuilt from config by the restoring host
+	flight   *trace.Ring    // always-on flight recorder (nil when disabled)
+	flightIn int64          //simlint:nosnapshot sampling countdown for the non-snapshotted recorder
+	tl       *timelineState //simlint:nosnapshot observability only; the restoring host attaches its own
+	//simlint:nosnapshot host hook; the restoring harness re-registers it
+	onCommit func(*DynInst) // correct-path retirement hook (simcheck oracle)
+	//simlint:nosnapshot host hook; the restoring harness re-registers it
+	onCycle      func() // end-of-cycle hook (simcheck invariants)
 	lastProgress int64
 	statsZero    int64 // cycle at the last ResetStats
 
 	// CPI-stack accounting signals.
+	//simlint:nosnapshot per-cycle scratch; zero between cycles
 	cycleCommits       int   // correct-path commits this cycle
 	branchRecoverUntil int64 // redirect+refill shadow of the last misprediction
 	raRecoverUntil     int64 // flush+refill shadow of the last runahead exit
@@ -136,25 +146,27 @@ type Core struct {
 	// quiescence detector; warps/warpedCycles count its work for reporting
 	// and deliberately live outside Stats so snapshot bytes stay identical
 	// across clock modes.
-	cycleIssued  int // uops issued this cycle
-	cycleRenamed int // uops renamed/dispatched this cycle
-	warps        int64
-	warpedCycles int64
+	cycleIssued  int   //simlint:nosnapshot per-cycle scratch; zero between cycles
+	cycleRenamed int   //simlint:nosnapshot per-cycle scratch; zero between cycles
+	warps        int64 //simlint:nosnapshot host-side speed accounting; kept out so bytes match across clock modes
+	warpedCycles int64 //simlint:nosnapshot host-side speed accounting; kept out so bytes match across clock modes
 
 	// prof accumulates simulator self-profiling counters in plain fields;
 	// publishMetrics (metrics.go) flushes deltas to the process-wide
 	// registry at Run boundaries. Never snapshotted, never part of Stats.
+	//simlint:nosnapshot simulator self-profiling; flushed to the metrics registry, never simulated state
 	prof coreProf
 
 	// Shared memory-system callbacks, built once in New. The store buffer
 	// drains in order with one inflight write, and the I-fetch wait is
 	// identified by (icacheWait, fetchWaitLine) rather than a captured
 	// generation — so neither needs a per-request closure.
-	storeDone func(memsys.Outcome)
-	fetchDone func(memsys.Outcome)
+	storeDone func(memsys.Outcome) //simlint:nosnapshot closure rebuilt by the constructor
+	fetchDone func(memsys.Outcome) //simlint:nosnapshot closure rebuilt by the constructor
 
 	// draining gates the fetch stage while Drain runs the machine to
 	// quiescence for a snapshot.
+	//simlint:nosnapshot transient Drain flag; snapshots are taken after draining completes
 	draining bool
 }
 
@@ -366,6 +378,8 @@ func (c *Core) Run(target uint64) *Stats {
 }
 
 // Cycle advances the machine by one clock.
+//
+//simlint:hotpath
 func (c *Core) Cycle() {
 	c.now++
 	c.cycleCommits = 0
@@ -383,7 +397,7 @@ func (c *Core) Cycle() {
 		c.pendingCoreEvents -= len(evs)
 		for _, ev := range evs {
 			if ev.at != c.now {
-				panic(fmt.Sprintf("core: event due at cycle %d fired at cycle %d (clock warped over a due event)", ev.at, c.now))
+				panicWarpedEvent(ev.at, c.now)
 			}
 			c.fireEvent(ev)
 		}
@@ -436,6 +450,15 @@ func (c *Core) Cycle() {
 	if c.cfg.ClockMode == ClockWarp {
 		c.maybeWarp()
 	}
+}
+
+// panicWarpedEvent reports an event that fired off its due cycle — a clock
+// bug, not a workload property. Split out of Cycle so the message formatting
+// keeps its allocations off the hot path.
+//
+//go:noinline
+func panicWarpedEvent(due, now int64) {
+	panic(fmt.Sprintf("core: event due at cycle %d fired at cycle %d (clock warped over a due event)", due, now))
 }
 
 // WarpStats reports the clock warp's work: how many warps fired and how many

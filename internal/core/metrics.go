@@ -118,6 +118,8 @@ func regCoreMetrics() {
 
 // pubDelta adds cur-prev to ctr and advances prev. Counters here are
 // monotonic between flushes, so the delta is never negative.
+//
+//simlint:hotpath
 func pubDelta(ctr *metrics.Counter, cur uint64, prev *uint64) {
 	if d := cur - *prev; d != 0 {
 		ctr.Add(d)
@@ -127,7 +129,10 @@ func pubDelta(ctr *metrics.Counter, cur uint64, prev *uint64) {
 
 // publishMetrics flushes the self-profiling deltas accumulated since the last
 // flush into the process-wide registry. Called at the end of every Run — off
-// the per-cycle path by construction.
+// the per-cycle path by construction, but sampled intervals call Run once per
+// interval, so the flush itself stays allocation-free.
+//
+//simlint:hotpath
 func (c *Core) publishMetrics() {
 	if !metrics.Enabled {
 		return

@@ -111,6 +111,8 @@ func schedStale(d *DynInst) bool {
 // counts as ready when free, ready, or poisoned (poison propagates at
 // execute, so it satisfies wakeup just like a value). Under SchedScan the
 // scan finds ready uops itself and the wakeup structures stay empty.
+//
+//simlint:hotpath
 func (c *Core) enroll(d *DynInst) {
 	if c.cfg.Scheduler == SchedScan {
 		return
@@ -137,6 +139,8 @@ func (c *Core) enroll(d *DynInst) {
 // broadcast wakes the waiters of physical register p after its ready (or
 // poison) bit is set. Each waiter appears once per formerly-unready source,
 // so decrementing per list entry is exact even when both sources name p.
+//
+//simlint:hotpath
 func (c *Core) broadcast(p PhysReg) {
 	if c.cfg.Scheduler == SchedScan || p == noPhys {
 		return
@@ -264,6 +268,8 @@ func (c *Core) forwardingStore(d *DynInst) *DynInst {
 // (= seq) order, and entries the width cut-off never reached follow them —
 // still sorted, because everything emitted precedes everything unexamined —
 // so the scratch becomes the next cycle's parked list with no heap re-insert.
+//
+//simlint:hotpath
 func (c *Core) issueStageEvent() {
 	issued, memIssued := 0, 0
 	s := &c.sched

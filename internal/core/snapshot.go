@@ -18,6 +18,16 @@ const MachineKind = "machine"
 // per-interval results into one of these.
 func NewStats() *Stats { return newStats() }
 
+// NewPlaceholderStats returns a Stats that stands in for a run that has not
+// happened yet: histograms allocated, and the denominators (cycles,
+// committed instructions) set to 1 so figure builders that divide don't
+// trip. The stat-ownership rule keeps these writes inside the core package.
+func NewPlaceholderStats() *Stats {
+	st := newStats()
+	st.Cycles, st.Committed = 1, 1
+	return st
+}
+
 // SnapshotTo serializes every counter by reflection in declaration order,
 // with the field name on the wire: a restore into a build whose Stats struct
 // drifted fails on the first mismatched name instead of silently shearing

@@ -41,6 +41,8 @@ import (
 // clamped to every boundary at which any of those classifications could flip
 // (recovery-shadow expiries, tracer sample ticks, timeline intervals), so the
 // classification is uniform across the span.
+//
+//simlint:hotpath
 func (c *Core) maybeWarp() {
 	// This cycle moved uops through rename or issue: the next cycle may move
 	// more with no event in between (width and port budgets reset). A cycle

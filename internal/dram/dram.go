@@ -61,6 +61,7 @@ type Config struct {
 	// what lets the equivalence suite cross-check the two implementations.
 	// The ClockTick reference kernel sets this; it never changes simulated
 	// behavior, so snapshots exclude it from the configuration fingerprint.
+	//simlint:nofingerprint reference-kernel speed knob; snapshots must interoperate across it
 	Reference bool
 }
 
@@ -120,16 +121,19 @@ type Controller struct {
 	// the channel (never when nothing is queued). It may be conservatively
 	// early — a wake-up that grants nothing just recomputes it — but is
 	// never late: Tick fast-paths past a channel only while now < horizon.
+	//simlint:nosnapshot recomputed from the queue on the first post-restore tick; the queue drains empty anyway
 	horizon []int64
-	seqCtr  uint64
+	seqCtr  uint64 //simlint:nosnapshot FR-FCFS arrival tiebreaker; meaningless with the queue drained empty
 
 	// OnGrant, when non-nil, is invoked as the controller grants each
 	// request (the observability layer's DRAM-access event hook). rowHit
 	// reports whether the access hit the bank's open row.
+	//simlint:nosnapshot host hook; the restoring hierarchy re-wires it
 	OnGrant func(now int64, lineAddr uint64, write, rowHit bool)
 	// Release, when non-nil, receives each request after its completion
 	// callback has run. The memory hierarchy uses it to recycle requests
 	// through a free pool instead of allocating one per miss.
+	//simlint:nosnapshot host hook; the restoring hierarchy re-wires it
 	Release func(r *Request)
 
 	// Statistics.
@@ -147,8 +151,8 @@ type Controller struct {
 	// path skip a channel versus running the full grant scan. The reference
 	// per-cycle kernel scans every tick, so the split measures exactly what
 	// the horizon optimization buys on a given workload.
-	HorizonSkips uint64
-	GrantScans   uint64
+	HorizonSkips uint64 //simlint:nosnapshot simulator self-profiling, not simulated state
+	GrantScans   uint64 //simlint:nosnapshot simulator self-profiling, not simulated state
 }
 
 // New returns an idle controller.
@@ -227,6 +231,8 @@ func (c *Controller) Enqueue(r *Request) bool {
 // then row-hit writes, then any ready write; age breaks ties. Channels whose
 // grant horizon has not arrived are skipped after a one-compare refresh
 // check, so an idle or blocked controller ticks in O(channels).
+//
+//simlint:hotpath
 func (c *Controller) Tick(now int64) {
 	for ch := range c.banks {
 		if c.cfg.RefreshInterval > 0 && now >= c.nextRef[ch] {
@@ -267,6 +273,8 @@ func (c *Controller) refreshCatchUp(ch int, now int64) {
 // banks that are ready this cycle are inspected; within the ready set the
 // winner is the lowest (class, enqueue seq) pair, which reproduces exactly
 // the old flat-queue scan (queue position order is enqueue order).
+//
+//simlint:hotpath
 func (c *Controller) grantScan(ch int, now int64) {
 	var best *Request
 	bestBank, bestIdx := -1, -1
@@ -317,6 +325,8 @@ func (c *Controller) grantScan(ch int, now int64) {
 // recomputeHorizon derives the channel's grant horizon from ground truth:
 // the earliest readyAt over banks with queued work, clamped by the next
 // refresh boundary while anything is pending.
+//
+//simlint:hotpath
 func (c *Controller) recomputeHorizon(ch int) {
 	hz := never
 	pending := false

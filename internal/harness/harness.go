@@ -284,10 +284,7 @@ func (r *Runner) Prewarm(runs []PlannedRun, workers int) {
 // allocated and denominators nonzero so figure builders that dereference or
 // divide don't trip; everything derived from it is discarded.
 func placeholderResult(bench string, rc RunConfig) *Result {
-	st := core.NewStats()
-	//simlint:allow statshygiene -- planning placeholder, never reported; real runs replace it
-	st.Cycles, st.Committed = 1, 1
-	return &Result{Bench: bench, Config: rc, Stats: st, IPC: 1}
+	return &Result{Bench: bench, Config: rc, Stats: core.NewPlaceholderStats(), IPC: 1}
 }
 
 // cfgFor translates a RunConfig into a full core configuration with the

@@ -224,27 +224,30 @@ type Hierarchy struct {
 	// fillL1Data/fillL1Instr are the LLC-MSHR waiters attachL1Fill installs,
 	// cached once here so no closure is allocated per LLC miss (the Outcome
 	// carries the line).
-	fillL1Data  func(Outcome)
-	fillL1Instr func(Outcome)
+	fillL1Data  func(Outcome) //simlint:nosnapshot closure rebuilt by the constructor
+	fillL1Instr func(Outcome) //simlint:nosnapshot closure rebuilt by the constructor
 
 	// reqPool recycles dram.Request values: the controller hands each
 	// request back through its Release hook after the completion callback
 	// runs, and the two shared DoneR method values below replace the
 	// per-request fill closures.
+	//simlint:nosnapshot host-side recycle pool; its contents never reach simulated state
 	reqPool      []*dram.Request
-	demandDone   func(r *dram.Request, cy int64)
-	prefetchDone func(r *dram.Request, cy int64)
+	demandDone   func(r *dram.Request, cy int64) //simlint:nosnapshot method value rebuilt by the constructor
+	prefetchDone func(r *dram.Request, cy int64) //simlint:nosnapshot method value rebuilt by the constructor
 
 	// lateEvents counts events that fired after their scheduled cycle. In a
 	// correctly driven hierarchy this never happens — Tick runs at every
 	// cycle the event horizon names — so a nonzero count means the clock
 	// warped over a due event; CheckInvariants reports it.
+	//simlint:nosnapshot sanitizer tripwire; zero in any hierarchy healthy enough to snapshot
 	lateEvents uint64
 
 	// OnLLCMiss, when non-nil, is invoked on every LLC demand miss (the
 	// observability layer's cache-miss event hook). It fires at miss
 	// discovery, before MSHR allocation, so the consumer sees misses that
 	// merge or wait for structural resources too.
+	//simlint:nosnapshot host hook; the restoring host attaches its own
 	OnLLCMiss func(now int64, line uint64, instr bool)
 
 	// Statistics.

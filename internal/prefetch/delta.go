@@ -9,9 +9,9 @@ package prefetch
 // cannot see) while still issuing nothing on random access.
 type Delta struct {
 	regions    []deltaRegion
-	regionBits uint
-	lineBytes  uint64
-	degree     int
+	regionBits uint   //simlint:nosnapshot derived from configured geometry by the constructor
+	lineBytes  uint64 //simlint:nosnapshot derived from configured geometry by the constructor
+	degree     int    //simlint:nosnapshot derived from configured geometry by the constructor
 	stamp      uint64
 
 	issued    uint64

@@ -1,0 +1,212 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fingerprint audits the snapshot configuration fingerprint. The anchor is
+// core's configFingerprint method, which copies the Config, canonicalizes
+// away the fields that must not affect snapshot compatibility (assignments
+// like `cfg.Scheduler = SchedEvent`), and hashes the %+v rendering of the
+// rest. The contract:
+//
+//   - Every field the anchor canonicalizes away must carry a
+//     //simlint:nofingerprint <reason> waiver at its declaration, so the
+//     exclusion list is documented where the field lives.
+//   - A //simlint:nofingerprint waiver on a field the anchor does NOT
+//     exclude is stale and flagged (via suppression hygiene).
+//   - Every non-excluded Config field must have a type that %+v renders
+//     stably: pointers, funcs, chans, interfaces, and unsafe.Pointers
+//     render addresses or dynamic types and are flagged.
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc:  "every core.Config field enters the fingerprint or is a documented exclusion",
+	Run:  runFingerprint,
+}
+
+func runFingerprint(pass *Pass) {
+	if pass.Types.Name() != "core" {
+		return
+	}
+	cfgObj, ok := pass.Types.Scope().Lookup("Config").(*types.TypeName)
+	if !ok {
+		return
+	}
+	cfgNamed, ok := cfgObj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	cfgStruct, ok := cfgNamed.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	anchor := findConfigFingerprint(pass)
+	if anchor == nil {
+		pass.Reportf(cfgObj.Pos(),
+			"core.Config exists but no configFingerprint method was found: the snapshot fingerprint contract has no anchor")
+		return
+	}
+	pass.st.fpAnchor = true
+
+	// Fields canonicalized away by the anchor: assignments whose LHS is a
+	// selector chain rooted at a Config-typed variable.
+	excluded := make(map[*types.Var]bool)
+	var order []*types.Var
+	assignPos := make(map[*types.Var]ast.Node)
+	ast.Inspect(anchor.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			fld := configField(pass, lhs, cfgNamed)
+			if fld == nil {
+				continue
+			}
+			if !excluded[fld] {
+				excluded[fld] = true
+				order = append(order, fld)
+				assignPos[fld] = assign
+			}
+		}
+		return true
+	})
+
+	// Each excluded field's declaration must carry a nofingerprint waiver.
+	// Fields declared in packages outside the analyzed set (possible when
+	// linting a subset, e.g. ./internal/core alone while the exclusion
+	// reaches into dram's nested config) are skipped: their directives were
+	// never collected, so absence proves nothing.
+	for _, fld := range order {
+		d := pass.directiveAt(fld.Pos(), "nofingerprint")
+		if d != nil {
+			d.used = true
+			continue
+		}
+		if !pass.st.analyzedFiles[pass.Fset.Position(fld.Pos()).Filename] {
+			continue
+		}
+		pass.Reportf(assignPos[fld].Pos(),
+			"configFingerprint excludes %s.%s but its declaration carries no //simlint:nofingerprint waiver (add one at %s)",
+			fieldOwnerName(fld), fld.Name(), pass.Fset.Position(fld.Pos()))
+	}
+
+	// Kind safety: non-excluded fields must fingerprint stably under %+v.
+	seen := make(map[*types.Struct]bool)
+	checkFingerprintKinds(pass, cfgStruct, "Config", excluded, seen)
+}
+
+// findConfigFingerprint locates the configFingerprint method declaration.
+func findConfigFingerprint(pass *Pass) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Name.Name == "configFingerprint" && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// configField resolves an assignment LHS like cfg.Mem.DRAM.Reference to the
+// final field var, when the selector chain is rooted at a variable whose
+// type is the Config named type.
+func configField(pass *Pass, lhs ast.Expr, cfgNamed *types.Named) *types.Var {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	root := sel.X
+	for {
+		inner, ok := ast.Unparen(root).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		root = inner.X
+	}
+	if t := pass.Info.TypeOf(root); t == nil || !sameNamed(deref(t), cfgNamed) {
+		return nil
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fld, _ := s.Obj().(*types.Var)
+	return fld
+}
+
+// fieldOwnerName names the struct type a field belongs to, best-effort, for
+// messages.
+func fieldOwnerName(fld *types.Var) string {
+	if pkg := fld.Pkg(); pkg != nil {
+		return pkg.Name() + " config"
+	}
+	return "config"
+}
+
+// checkFingerprintKinds walks the Config struct tree and flags non-excluded
+// fields whose types render unstably under %+v.
+func checkFingerprintKinds(pass *Pass, st *types.Struct, path string,
+	excluded map[*types.Var]bool, seen map[*types.Struct]bool) {
+	if seen[st] {
+		return
+	}
+	seen[st] = true
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if excluded[fld] || fld.Name() == "_" {
+			continue
+		}
+		fpath := path + "." + fld.Name()
+		if bad := unstableKind(fld.Type(), make(map[types.Type]bool)); bad != "" {
+			pass.Reportf(fld.Pos(),
+				"%s has kind %s, which does not fingerprint stably under %%+v: exclude it in configFingerprint and waive it with //simlint:nofingerprint, or change its type",
+				fpath, bad)
+			continue
+		}
+		if sub, ok := deref(fld.Type().Underlying()).Underlying().(*types.Struct); ok {
+			checkFingerprintKinds(pass, sub, fpath, excluded, seen)
+		}
+	}
+}
+
+// unstableKind returns the offending kind name if t (recursively) contains a
+// type that renders addresses or dynamic values under %+v, else "".
+func unstableKind(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return "pointer"
+	case *types.Signature:
+		return "func"
+	case *types.Chan:
+		return "chan"
+	case *types.Interface:
+		return "interface"
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return "unsafe.Pointer"
+		}
+	case *types.Map:
+		if bad := unstableKind(u.Key(), seen); bad != "" {
+			return bad
+		}
+		return unstableKind(u.Elem(), seen)
+	case *types.Slice:
+		return unstableKind(u.Elem(), seen)
+	case *types.Array:
+		return unstableKind(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad := unstableKind(u.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,60 @@
+package simlint
+
+import "testing"
+
+func TestFingerprint(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/core": {"config.go": `package core
+
+type Config struct {
+	Width int
+	//simlint:nofingerprint simulator speed knob under test
+	Fast bool
+	Undoc bool
+	Cb    func()
+	//simlint:nofingerprint claims exclusion but the anchor keeps it
+	Stale int
+}
+
+func configFingerprint(c Config) int {
+	cfg := c
+	cfg.Fast = false
+	cfg.Undoc = false
+	return cfg.Width
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", Fingerprint)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		// Cb is in the fingerprint but its kind renders addresses.
+		{8, "has kind func"},
+		// Stale carries a waiver the anchor never consumes (suppression
+		// hygiene, gated on the anchor having been found).
+		{9, "stale //simlint:nofingerprint"},
+		// Undoc is excluded by the anchor without a documented waiver.
+		{16, "carries no //simlint:nofingerprint waiver"},
+	})
+}
+
+// TestFingerprintMissingAnchor checks the contract fails loudly when the
+// anchor function disappears, instead of silently checking nothing.
+func TestFingerprintMissingAnchor(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/core": {"config.go": `package core
+
+type Config struct {
+	Width int
+}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/core", Fingerprint)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{3, "no configFingerprint method was found"},
+	})
+}

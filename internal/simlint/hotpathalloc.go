@@ -1,0 +1,81 @@
+package simlint
+
+import (
+	"go/ast"
+)
+
+// HotPathAlloc verifies that functions annotated //simlint:hotpath (in the
+// doc comment or on the line above the declaration) stay allocation-free.
+// The analyzer collects the annotated body spans; after all packages run,
+// the engine drives `go build -gcflags=-m` over the annotated packages and
+// reports every "escapes to heap" / "moved to heap" diagnostic that lands
+// inside a span. The check is deliberately shallow: an allocation inside a
+// callee is reported at the callee's own source position, so annotate the
+// helpers a hot path leans on rather than expecting the span to cover them.
+//
+// With Options.Root empty (fixture mode) only the annotation bookkeeping
+// runs; the escape step needs a real module on disk.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//simlint:hotpath functions are verified allocation-free via go build -gcflags=-m",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			d := hotpathDirective(pass, fd)
+			if d == nil {
+				continue
+			}
+			d.used = true
+			start := pass.Fset.Position(fd.Body.Lbrace)
+			end := pass.Fset.Position(fd.Body.Rbrace)
+			pass.st.hot = append(pass.st.hot, hotSpan{
+				file:    start.Filename,
+				start:   start.Line,
+				end:     end.Line,
+				fn:      funcDisplayName(fd),
+				pkgPath: pass.Path,
+			})
+		}
+	}
+}
+
+// hotpathDirective finds a //simlint:hotpath annotation attached to fd: on
+// any line of its doc comment or on the line directly above the func
+// keyword.
+func hotpathDirective(pass *Pass, fd *ast.FuncDecl) *directive {
+	if d := pass.directiveAt(fd.Pos(), "hotpath"); d != nil {
+		return d
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if d := pass.directiveAt(c.Pos(), "hotpath"); d != nil {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "(*Core).Cycle" / "Tick" style names for messages.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

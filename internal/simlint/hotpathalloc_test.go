@@ -1,0 +1,69 @@
+package simlint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotPathAllocEscape drives the full escape pipeline over the
+// checked-in testdata module: annotate, load, `go build -gcflags=-m`,
+// attribute diagnostics to spans. Leaky must be flagged, Clean must not.
+func TestHotPathAllocEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "hotmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{HotPathAlloc}, Options{Root: root})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	leaky := 0
+	for _, d := range diags {
+		if d.Analyzer != "hotpathalloc" {
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		if strings.Contains(d.Message, "Clean") {
+			t.Errorf("Clean flagged: %s", d)
+		}
+		if strings.Contains(d.Message, "Leaky") && strings.Contains(d.Message, "escapes to heap") {
+			leaky++
+		}
+	}
+	if leaky == 0 {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatal("Leaky's Sprintf boxing was not flagged")
+	}
+}
+
+// TestHotPathDirectiveOffFunction checks the misplacement rule: a hotpath
+// annotation that is not attached to a function declaration is a hygiene
+// finding (it would otherwise silently verify nothing).
+func TestHotPathDirectiveOffFunction(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/x": {"x.go": `package x
+
+//simlint:hotpath
+var counter int
+
+//simlint:hotpath
+func hot() {}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/x", HotPathAlloc)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{3, "must sit on a function declaration"},
+	})
+}

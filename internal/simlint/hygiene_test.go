@@ -1,0 +1,58 @@
+package simlint
+
+import "testing"
+
+// TestSuppressionHygiene checks the directives-about-directives rules:
+// every allow needs a reason, an allow that suppressed nothing is itself a
+// finding (only when the analyzers it names all ran), unknown analyzer
+// names and unknown verbs are flagged, and none of these findings are
+// suppressible.
+func TestSuppressionHygiene(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/x": {"x.go": `package x
+
+//simlint:allow determinism
+func a() {}
+
+//simlint:allow determinism -- nothing here to suppress
+func b() {}
+
+//simlint:allow mystery -- no such analyzer
+func c() {}
+
+//simlint:frobnicate -- not a verb
+func d() {}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/x", Determinism)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{3, "suppression has no justification"},
+		{6, "unused suppression: no determinism finding here"},
+		{9, `unknown analyzer "mystery"`},
+		{12, `unknown simlint directive "frobnicate"`},
+	})
+	for _, d := range diags {
+		if d.Analyzer != "suppression" {
+			t.Errorf("hygiene finding attributed to %q, want \"suppression\": %s", d.Analyzer, d)
+		}
+	}
+}
+
+// TestUnusedAllowNeedsFullRun checks the no-false-positives rule for unused
+// suppressions: an allow naming an analyzer that did NOT run this
+// invocation is not reported (it may well suppress something on a full
+// run).
+func TestUnusedAllowNeedsFullRun(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/x": {"x.go": `package x
+
+//simlint:allow tracehygiene -- consumed only when tracehygiene runs
+func a() {}
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/x", Determinism)
+	wantDiags(t, diags, nil)
+}

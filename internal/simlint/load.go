@@ -11,8 +11,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader type-checks packages using only the standard library: module
@@ -21,6 +23,13 @@ import (
 // source importer, which reads GOROOT. Imported packages are checked with
 // IgnoreFuncBodies for speed; target packages get full bodies and a filled
 // types.Info for the analyzers.
+//
+// Loading is parallel: a discovery pre-pass parses every module-local
+// package reachable from the targets (rejecting import cycles up front, so
+// in-flight waits below can never deadlock), then the targets are
+// type-checked by a worker pool. Dependency packages are checked at most
+// once behind a single-flight map; the standard-library source importer is
+// not safe for concurrent use and sits behind its own mutex.
 
 // Package is one fully type-checked analysis target.
 type Package struct {
@@ -30,9 +39,10 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// allow maps file -> line -> analyzer names suppressed by a
-	// //simlint:allow comment on that line.
-	allow map[string]map[int][]string
+	// dirs indexes every //simlint: directive: file -> line -> directives.
+	// dirList holds the same directives in source order for hygiene checks.
+	dirs    map[string]map[int][]*directive
+	dirList []*directive
 }
 
 type loader struct {
@@ -40,11 +50,30 @@ type loader struct {
 	root    string // module root directory ("" for pure fixtures)
 	modPath string // module path from go.mod
 	std     types.Importer
-	pkgs    map[string]*types.Package
-	loading map[string]bool
+	stdMu   sync.Mutex // the source importer is not concurrency-safe
 	// overlay holds in-memory fixture packages: import path -> file name ->
 	// source. Paths under the fixture module resolve here before the disk.
 	overlay map[string]map[string]string
+
+	parseMu sync.Mutex
+	parsed  map[string]*parseResult // single-flight parse cache, by import path
+
+	mu   sync.Mutex
+	deps map[string]*depResult // single-flight dependency checks
+}
+
+// depResult is one in-flight or finished dependency type-check.
+type depResult struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
+// parseResult is one in-flight or finished package parse.
+type parseResult struct {
+	done  chan struct{}
+	files []*ast.File
+	err   error
 }
 
 func newLoader(root, modPath string) *loader {
@@ -54,41 +83,68 @@ func newLoader(root, modPath string) *loader {
 		root:    root,
 		modPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*types.Package),
-		loading: make(map[string]bool),
+		parsed:  make(map[string]*parseResult),
+		deps:    make(map[string]*depResult),
 	}
 }
 
+// isLocal reports whether path resolves inside the module (or fixture
+// overlay) rather than the standard library.
+func (l *loader) isLocal(path string) bool {
+	if _, ok := l.overlay[path]; ok {
+		return true
+	}
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
 // Import implements types.Importer for the packages the targets depend on.
+// Module-local packages are checked once behind the single-flight map; the
+// discovery pre-pass guarantees the local import graph is acyclic, so
+// waiting on another goroutine's in-flight check cannot deadlock.
 func (l *loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+	if !l.isLocal(path) {
+		l.stdMu.Lock()
+		defer l.stdMu.Unlock()
+		return l.std.Import(path)
 	}
-	if _, local := l.overlay[path]; !local {
-		if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
-			return l.std.Import(path)
-		}
+	l.mu.Lock()
+	if r, ok := l.deps[path]; ok {
+		l.mu.Unlock()
+		<-r.done
+		return r.pkg, r.err
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-	tpkg, _, err := l.check(path, false)
-	if err != nil {
-		return nil, err
-	}
-	l.pkgs[path] = tpkg
-	return tpkg, nil
+	r := &depResult{done: make(chan struct{})}
+	l.deps[path] = r
+	l.mu.Unlock()
+	r.pkg, _, r.err = l.check(path, false)
+	close(r.done)
+	return r.pkg, r.err
 }
 
-// check parses and type-checks one module-local (or overlay) package. With
-// bodies set, function bodies are checked and a Package with filled
-// types.Info is returned; without, bodies are skipped (dependency mode).
-func (l *loader) check(path string, bodies bool) (*types.Package, *Package, error) {
+// parseFiles parses one package's files (overlay or disk) exactly once,
+// single-flighted by import path; concurrent callers wait for the first.
+// token.FileSet is safe for concurrent use, so parses of distinct packages
+// proceed in parallel.
+func (l *loader) parseFiles(path string) ([]*ast.File, error) {
+	l.parseMu.Lock()
+	if r, ok := l.parsed[path]; ok {
+		l.parseMu.Unlock()
+		<-r.done
+		return r.files, r.err
+	}
+	r := &parseResult{done: make(chan struct{})}
+	l.parsed[path] = r
+	l.parseMu.Unlock()
+	r.files, r.err = l.parseUncached(path)
+	close(r.done)
+	return r.files, r.err
+}
+
+// parseUncached does the actual parse for parseFiles.
+func (l *loader) parseUncached(path string) ([]*ast.File, error) {
 	var files []*ast.File
 	if src, ok := l.overlay[path]; ok {
 		names := make([]string, 0, len(src))
@@ -100,26 +156,114 @@ func (l *loader) check(path string, bodies bool) (*types.Package, *Package, erro
 		for _, name := range names {
 			f, err := parser.ParseFile(l.fset, path+"/"+name, src[name], parser.ParseComments)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			files = append(files, f)
 		}
 	} else {
 		dir, err := l.dirOf(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		bp, err := build.ImportDir(dir, 0)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		for _, name := range bp.GoFiles {
 			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			files = append(files, f)
 		}
+	}
+	return files, nil
+}
+
+// discover parses every module-local package reachable from the targets and
+// rejects import cycles, so the concurrent checks that follow can never
+// block on each other in a loop.
+func (l *loader) discover(targets []string) error {
+	imports := make(map[string][]string)
+	queue := append([]string(nil), targets...)
+	seen := make(map[string]bool)
+	for _, t := range targets {
+		seen[t] = true
+	}
+	for len(queue) > 0 {
+		// Parse one wave in parallel; collect the next wave from imports.
+		wave := queue
+		queue = nil
+		parsed := make([][]*ast.File, len(wave))
+		errs := make([]error, len(wave))
+		var wg sync.WaitGroup
+		for i, path := range wave {
+			wg.Add(1)
+			go func(i int, path string) {
+				defer wg.Done()
+				parsed[i], errs[i] = l.parseFiles(path)
+			}(i, path)
+		}
+		wg.Wait()
+		for i, path := range wave {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			for _, f := range parsed[i] {
+				for _, imp := range f.Imports {
+					dep := strings.Trim(imp.Path.Value, `"`)
+					if dep == path || !l.isLocal(dep) {
+						continue
+					}
+					imports[path] = append(imports[path], dep)
+					if !seen[dep] {
+						seen[dep] = true
+						queue = append(queue, dep)
+					}
+				}
+			}
+		}
+	}
+	// DFS cycle check over the local import graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(path string, trail []string) error
+	visit = func(path string, trail []string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("import cycle: %s -> %s", strings.Join(trail, " -> "), path)
+		}
+		color[path] = grey
+		for _, dep := range imports[path] {
+			if err := visit(dep, append(trail, path)); err != nil {
+				return err
+			}
+		}
+		color[path] = black
+		return nil
+	}
+	for _, t := range targets {
+		if err := visit(t, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// check type-checks one module-local (or overlay) package from the parse
+// cache. With bodies set, function bodies are checked and a Package with
+// filled types.Info is returned; without, bodies are skipped (dependency
+// mode).
+func (l *loader) check(path string, bodies bool) (*types.Package, *Package, error) {
+	files, err := l.parseFiles(path)
+	if err != nil {
+		return nil, nil, err
 	}
 	var info *types.Info
 	if bodies {
@@ -139,7 +283,7 @@ func (l *loader) check(path string, bodies bool) (*types.Package, *Package, erro
 		return tpkg, nil, nil
 	}
 	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	pkg.collectAllows()
+	pkg.collectDirectives()
 	return tpkg, pkg, nil
 }
 
@@ -186,9 +330,9 @@ func modulePath(root string) (string, error) {
 }
 
 // Load type-checks the packages selected by go-style patterns ("./...",
-// "./internal/...", "./cmd/simlint") relative to the module root. Test files
-// are excluded: the analyzers police simulation code, and tests legitimately
-// use fixed-seed math/rand and float comparisons.
+// "./internal/...", "./cmd/simlint") relative to the module root, in
+// parallel. Test files are excluded: the analyzers police simulation code,
+// and tests legitimately use fixed-seed math/rand and float comparisons.
 func Load(root string, patterns []string) ([]*Package, error) {
 	modPath, err := modulePath(root)
 	if err != nil {
@@ -198,25 +342,39 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := newLoader(root, modPath)
-	var out []*Package
-	for _, dir := range dirs {
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return nil, err
 		}
-		path := modPath
+		paths[i] = modPath
 		if rel != "." {
-			path = modPath + "/" + filepath.ToSlash(rel)
+			paths[i] = modPath + "/" + filepath.ToSlash(rel)
 		}
-		tpkg, pkg, err := l.check(path, true)
+	}
+	l := newLoader(root, modPath)
+	if err := l.discover(paths); err != nil {
+		return nil, err
+	}
+	out := make([]*Package, len(paths))
+	errs := make([]error, len(paths))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, out[i], errs[i] = l.check(path, true)
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if _, ok := l.pkgs[path]; !ok {
-			l.pkgs[path] = tpkg
-		}
-		out = append(out, pkg)
 	}
 	return out, nil
 }
@@ -227,6 +385,9 @@ func Load(root string, patterns []string) ([]*Package, error) {
 func CheckFixture(pkgs map[string]map[string]string, target string) (*Package, error) {
 	l := newLoader("", "fix")
 	l.overlay = pkgs
+	if err := l.discover([]string{target}); err != nil {
+		return nil, err
+	}
 	_, pkg, err := l.check(target, true)
 	return pkg, err
 }

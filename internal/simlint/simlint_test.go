@@ -14,7 +14,11 @@ func runFixture(t *testing.T, pkgs map[string]map[string]string, target string, 
 	if err != nil {
 		t.Fatalf("CheckFixture: %v", err)
 	}
-	return Run([]*Package{pkg}, []*Analyzer{a})
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a}, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return diags
 }
 
 // wantDiags asserts that the diagnostics hit exactly the expected lines (in
@@ -56,14 +60,18 @@ func TestRepoPassesClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := Load(root, []string{"./internal/...", "./cmd/..."})
+	pkgs, err := Load(root, []string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pkgs) == 0 {
 		t.Fatal("Load returned no packages")
 	}
-	for _, d := range Run(pkgs, All) {
+	diags, err := Run(pkgs, All, Options{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 }

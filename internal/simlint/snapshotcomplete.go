@@ -1,0 +1,231 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotComplete enforces the checkpoint contract: every struct field of a
+// type implementing the Snapshotter shape (paired SnapshotTo/RestoreFrom —
+// exported or not — taking *snapshot.Writer / *snapshot.Reader) must be
+// referenced by both method bodies, transitively through same-package
+// helpers, or carry an explicit //simlint:nosnapshot <reason> waiver on its
+// declaration. A waived field that IS covered is a stale waiver and is also
+// flagged. Types whose snapshot closure reaches into reflect (e.g.
+// core.Stats walks itself with reflect.ValueOf) are treated as fully
+// covered.
+var SnapshotComplete = &Analyzer{
+	Name: "snapshotcomplete",
+	Doc:  "every field of a snapshottable type is serialized or explicitly waived",
+	Run:  runSnapshotComplete,
+}
+
+func runSnapshotComplete(pass *Pass) {
+	decls := funcDecls(pass)
+	scope := pass.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		snap := snapshotMethod(named, "SnapshotTo", "snapshotTo", "Writer")
+		rest := snapshotMethod(named, "RestoreFrom", "restoreFrom", "Reader")
+		if snap == nil || rest == nil {
+			continue
+		}
+		checkSnapshotter(pass, named, st, []*types.Func{snap, rest}, decls)
+	}
+}
+
+// funcDecls indexes the package's function declarations by their object, so
+// the coverage walk can follow calls into same-package helpers.
+func funcDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// snapshotMethod finds a method named expName or unexpName whose single
+// parameter is a pointer to a type named paramType from a package named
+// "snapshot".
+func snapshotMethod(named *types.Named, expName, unexpName, paramType string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != expName && m.Name() != unexpName {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 {
+			continue
+		}
+		ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		pn, ok := ptr.Elem().(*types.Named)
+		if !ok || pn.Obj().Name() != paramType {
+			continue
+		}
+		if pkg := pn.Obj().Pkg(); pkg == nil || pkg.Name() != "snapshot" {
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+// checkSnapshotter computes the set of fields of named covered by the
+// closure of roots over same-package calls, then reports uncovered fields
+// without waivers and stale waivers on covered fields.
+func checkSnapshotter(pass *Pass, named *types.Named, st *types.Struct,
+	roots []*types.Func, decls map[*types.Func]*ast.FuncDecl) {
+
+	covered := make(map[int]bool)
+	reflective := false
+	visited := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := pass.Info.Selections[n]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if sameNamed(deref(sel.Recv()), named) {
+					covered[sel.Index()[0]] = true
+				}
+			case *ast.CompositeLit:
+				if t := pass.Info.TypeOf(n); t != nil && sameNamed(deref(t), named) {
+					markLiteralFields(pass, n, st, covered)
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(pass, n)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				// A reflect call covers the fields of the type whose method
+				// (or a free helper) performs it — not the fields of every
+				// snapshotter whose closure happens to reach it (Core's
+				// snapshot calls Stats' reflective walk; that must not
+				// blanket-cover Core).
+				if callee.Pkg().Path() == "reflect" && reflectsOver(fn, named) {
+					reflective = true
+				}
+				if callee.Pkg() == pass.Types && !visited[callee] {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if fld.Name() == "_" {
+			continue
+		}
+		isCovered := covered[i] || reflective
+		waiver := pass.directiveAt(fld.Pos(), "nosnapshot")
+		switch {
+		case isCovered && waiver != nil:
+			waiver.used = true
+			pass.Reportf(fld.Pos(),
+				"stale //simlint:nosnapshot: field %s.%s IS referenced by the snapshot/restore path — remove the waiver",
+				named.Obj().Name(), fld.Name())
+		case !isCovered && waiver != nil:
+			waiver.used = true
+		case !isCovered && waiver == nil:
+			pass.Reportf(fld.Pos(),
+				"field %s.%s is not referenced by %s/%s: serialize it or waive it with //simlint:nosnapshot <reason>",
+				named.Obj().Name(), fld.Name(), roots[0].Name(), roots[1].Name())
+		}
+	}
+}
+
+// reflectsOver reports whether a reflect call inside fn should count as
+// covering named's fields: fn is a method on named, or a free function
+// (which may walk any value handed to it).
+func reflectsOver(fn *types.Func, named *types.Named) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	return sameNamed(deref(recv.Type()), named)
+}
+
+// markLiteralFields marks fields covered by a composite literal of the
+// snapshotter type: keyed elements by name, unkeyed literals in full.
+func markLiteralFields(pass *Pass, lit *ast.CompositeLit, st *types.Struct, covered map[int]bool) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		for i := 0; i < st.NumFields(); i++ {
+			covered[i] = true
+		}
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == key.Name {
+				covered[i] = true
+			}
+		}
+	}
+}
+
+// sameNamed reports whether t is the named type (by type name object, so
+// instantiations and the origin compare equal).
+func sameNamed(t types.Type, named *types.Named) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

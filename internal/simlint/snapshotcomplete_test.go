@@ -1,0 +1,147 @@
+package simlint
+
+import (
+	"strings"
+	"testing"
+)
+
+// snapFixtureLib is the minimal snapshot package the Snapshotter shape is
+// keyed on: methods taking *snapshot.Writer / *snapshot.Reader.
+var snapFixtureLib = map[string]string{"snapshot.go": `package snapshot
+
+type Writer struct{}
+
+func (w *Writer) I64(int64) {}
+
+type Reader struct{}
+
+func (r *Reader) I64() int64 { return 0 }
+`}
+
+// snapFixtureState exercises coverage through a helper, waived fields,
+// stale waivers, and the trailing-waiver scoping rule (y's waiver must not
+// bleed onto z one line below).
+const snapFixtureState = `package state
+
+import "fix/internal/snapshot"
+
+type Machine struct {
+	a       int
+	b       int
+	scratch int //simlint:nosnapshot per-cycle scratch; zero between cycles
+	stale   int //simlint:nosnapshot claims exclusion but is serialized below
+}
+
+func (m *Machine) SnapshotTo(w *snapshot.Writer) {
+	w.I64(int64(m.a))
+	w.I64(int64(m.b))
+	w.I64(int64(m.stale))
+}
+
+func (m *Machine) RestoreFrom(r *snapshot.Reader) {
+	m.load(r)
+}
+
+func (m *Machine) load(r *snapshot.Reader) {
+	m.a = int(r.I64())
+	m.b = int(r.I64())
+	m.stale = int(r.I64())
+}
+
+type Uncovered struct {
+	x int
+	y int //simlint:nosnapshot not serialized by design
+	z int
+}
+
+func (u *Uncovered) SnapshotTo(w *snapshot.Writer)  { w.I64(int64(u.x)) }
+func (u *Uncovered) RestoreFrom(r *snapshot.Reader) { u.x = int(r.I64()) }
+`
+
+func TestSnapshotComplete(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/snapshot": snapFixtureLib,
+		"fix/internal/state":    {"state.go": snapFixtureState},
+	}
+	diags := runFixture(t, fixture, "fix/internal/state", SnapshotComplete)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		{9, "stale //simlint:nosnapshot: field Machine.stale IS referenced"},
+		{31, "field Uncovered.z is not referenced by SnapshotTo/RestoreFrom"},
+	})
+}
+
+// TestSnapshotCompleteSeededMutation drops one field's serialization lines
+// from the fixture — the checkpoint-truncation bug this analyzer exists to
+// catch — and asserts the field is flagged.
+func TestSnapshotCompleteSeededMutation(t *testing.T) {
+	mutated := snapFixtureState
+	for _, line := range []string{"\tw.I64(int64(m.b))\n", "\tm.b = int(r.I64())\n"} {
+		if !strings.Contains(mutated, line) {
+			t.Fatalf("fixture drifted: %q not found", line)
+		}
+		mutated = strings.Replace(mutated, line, "", 1)
+	}
+	fixture := map[string]map[string]string{
+		"fix/internal/snapshot": snapFixtureLib,
+		"fix/internal/state":    {"state.go": mutated},
+	}
+	diags := runFixture(t, fixture, "fix/internal/state", SnapshotComplete)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "field Machine.b is not referenced") {
+			found = true
+		}
+	}
+	if !found {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatal("dropping Machine.b's serialization was not flagged")
+	}
+}
+
+// TestSnapshotCompleteReflection checks that a type serializing itself by
+// reflection (like core.Stats) counts as fully covered — and that the
+// reflective blanket is scoped to the type doing the reflecting, not every
+// snapshotter whose closure reaches the helper.
+func TestSnapshotCompleteReflection(t *testing.T) {
+	fixture := map[string]map[string]string{
+		"fix/internal/snapshot": snapFixtureLib,
+		"fix/internal/state": {"state.go": `package state
+
+import (
+	"reflect"
+
+	"fix/internal/snapshot"
+)
+
+type Blob struct {
+	p int
+	q int
+}
+
+func (b *Blob) SnapshotTo(w *snapshot.Writer)  { _ = reflect.ValueOf(b) }
+func (b *Blob) RestoreFrom(r *snapshot.Reader) { _ = reflect.ValueOf(b) }
+
+type Outer struct {
+	blob *Blob
+	gap  int
+}
+
+func (o *Outer) SnapshotTo(w *snapshot.Writer)  { o.blob.SnapshotTo(w) }
+func (o *Outer) RestoreFrom(r *snapshot.Reader) { o.blob.RestoreFrom(r) }
+`},
+	}
+	diags := runFixture(t, fixture, "fix/internal/state", SnapshotComplete)
+	wantDiags(t, diags, []struct {
+		Line     int
+		Fragment string
+	}{
+		// Blob's fields are reflectively covered; Outer must not inherit
+		// Blob's reflection — its own unserialized field is still caught.
+		{19, "field Outer.gap is not referenced"},
+	})
+}

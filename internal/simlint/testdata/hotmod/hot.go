@@ -1,0 +1,18 @@
+// Package hotmod is a fixture for the hotpathalloc analyzer: Leaky's
+// Sprintf boxes its argument onto the heap, Clean allocates nothing. It
+// lives under testdata so the repository's own module walk never sees it.
+package hotmod
+
+import "fmt"
+
+var sink string
+
+//simlint:hotpath
+func Leaky(n int) {
+	sink = fmt.Sprintf("%d", n)
+}
+
+//simlint:hotpath
+func Clean(n int) int {
+	return n * 2
+}

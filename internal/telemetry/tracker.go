@@ -58,12 +58,25 @@ func NewTracker() *Tracker {
 	return t
 }
 
-// SetClock replaces the wall clock (tests).
+// SetClock replaces the wall clock (tests). The new clock is read before the
+// lock is taken: an injected clock is foreign code and must never run under
+// t.mu (lockdiscipline).
 func (t *Tracker) SetClock(now func() int64) {
+	start := now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.now = now
-	t.startNS = now()
+	t.startNS = start
+}
+
+// clockNow reads the current clock without holding the lock across the
+// call: the clock function is injectable, and foreign code under t.mu could
+// block or re-enter it.
+func (t *Tracker) clockNow() int64 {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
 }
 
 // SetTotalRuns declares how many runs the sweep plans, enabling the
@@ -100,6 +113,7 @@ func (t *Tracker) RunDone(bench, config string) {
 // Phase reports one unit entering a phase ("fast-forward", "warmup",
 // "measure") with a committed-uop goal (0 = unknown).
 func (t *Tracker) Phase(bench, config string, interval int, phase string, total uint64) {
+	start := t.clockNow()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	k := unitKey(bench, config, interval)
@@ -110,7 +124,7 @@ func (t *Tracker) Phase(bench, config string, interval int, phase string, total 
 	}
 	u.phase = phase
 	u.done, u.total = 0, total
-	u.phaseStartNS = t.now()
+	u.phaseStartNS = start
 }
 
 // Progress reports committed uops completed within the unit's current phase.
@@ -155,9 +169,9 @@ type UnitSnapshot struct {
 // (bench, config, interval) so repeated snapshots of the same state are
 // byte-identical when serialized.
 func (t *Tracker) Snapshot() ProgressSnapshot {
+	now := t.clockNow()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := t.now()
 	s := ProgressSnapshot{
 		ElapsedSec:  float64(now-t.startNS) / 1e9,
 		RunsTotal:   t.runsTotal,
