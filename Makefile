@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench bench-core bench-mem bench-go sweep report examples telemetry-smoke clean
+.PHONY: test vet lint check bench bench-core bench-mem bench-mc bench-go sweep report examples telemetry-smoke clean
 
 test:
 	go test ./...
@@ -48,6 +48,14 @@ bench-core:
 bench-mem:
 	go run ./cmd/runahead-sweep -uops 300000 -bench-mem BENCH_mem.json
 
+# Benchmark the multi-core cluster: 2- and 4-core multi-programmed mixes
+# sharing one LLC + DRAM, baseline vs runahead buffer, with per-rep snapshot
+# digests cross-checked for determinism. Writes BENCH_mc.json: weighted
+# speedup, fairness, and simulation throughput per cell plus RB-vs-baseline
+# deltas (see DESIGN.md §13).
+bench-mc:
+	go run ./cmd/runahead-sweep -uops 60000 -bench-mc BENCH_mc.json
+
 # Live-introspection smoke: the -tags nometrics build, every telemetry
 # endpoint served during a real parallel sampled sweep (including an SSE
 # progress frame), and a forced watchdog trip producing a non-empty
@@ -74,4 +82,4 @@ examples:
 	go run ./examples/energy_tradeoff
 
 clean:
-	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json BENCH_mem.json
+	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json BENCH_mem.json BENCH_mc.json

@@ -1,16 +1,22 @@
 // Command runahead-report evaluates every headline quantitative claim of
 // the paper against this reproduction and prints a verdict table: paper
 // value, measured value, and whether the shape (sign, rough magnitude,
-// ordering) reproduces.
+// ordering) reproduces. With -cores it appends the multi-programmed table:
+// per-core IPC, weighted speedup, and slowdown fairness for an N-core mix
+// sharing one LLC + DRAM, baseline vs runahead buffer.
 //
 //	runahead-report
 //	runahead-report -uops 300000
+//	runahead-report -cores 4
+//	runahead-report -cores 2 -mix libquantum,mcf -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"runaheadsim/internal/harness"
 )
@@ -21,6 +27,8 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		asJSON   = flag.Bool("json", false, "emit the verdict table as machine-readable JSON")
 		cpiStack = flag.Bool("cpi", false, "also emit the CPI-stack breakdown table")
+		cores    = flag.Int("cores", 0, "also emit the multi-programmed table for an N-core mix (0 = skip)")
+		mix      = flag.String("mix", "", "kernel mix for -cores, one per core (empty = default memory-bound rotation)")
 	)
 	flag.Parse()
 
@@ -35,6 +43,28 @@ func main() {
 	if *cpiStack {
 		tables = append(tables, harness.CPIStack(r))
 	}
+
+	// The multi-programmed section renders as a table in text mode; in JSON
+	// mode the mix results are emitted as their own objects with per-core
+	// stats keyed by core ID, not flattened into table rows.
+	var mixResults []*harness.MixResult
+	if *cores > 0 || *mix != "" {
+		members := harness.DefaultMix(*cores)
+		if *mix != "" {
+			members = strings.Split(*mix, ",")
+			if *cores > 0 && len(members) != *cores {
+				fmt.Fprintf(os.Stderr, "-mix names %d kernels but -cores is %d\n", len(members), *cores)
+				os.Exit(2)
+			}
+		}
+		for _, rc := range harness.MixConfigs() {
+			mixResults = append(mixResults, r.RunMix(members, rc))
+		}
+		if !*asJSON {
+			tables = append(tables, harness.MixTable(mixResults))
+		}
+	}
+
 	for _, t := range tables {
 		if *asJSON {
 			if err := t.WriteJSON(os.Stdout); err != nil {
@@ -44,5 +74,13 @@ func main() {
 			continue
 		}
 		t.Render(os.Stdout)
+	}
+	if *asJSON {
+		for _, res := range mixResults {
+			if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -13,6 +13,8 @@
 //	runahead-sweep -uops 300000 -out results.txt
 //	runahead-sweep -sample -j 8         # sampled intervals, 8 workers
 //	runahead-sweep -experiments figure9 -bench-out BENCH_sweep.json
+//	runahead-sweep -cores 4             # 4-core multi-programmed mix
+//	runahead-sweep -cores 2 -mix libquantum,mcf
 package main
 
 import (
@@ -53,6 +55,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		benchOut  = fs.String("bench-out", "", "benchmark the sweep (parallel/sampled vs sequential full-detail) and write the JSON report here")
 		benchCore = fs.String("bench-core", "", "benchmark the cycle kernel (event vs scan scheduler, with equivalence checks) and write the JSON report here")
 		benchMem  = fs.String("bench-mem", "", "benchmark the memory system + clock warp (warp vs per-cycle clock, with equivalence checks) and write the JSON report here")
+		benchMC   = fs.String("bench-mc", "", "benchmark the multi-core subsystem (throughput + weighted-speedup deltas, RB vs baseline at 2/4 cores) and write the JSON report here")
+		cores     = fs.Int("cores", 1, "multi-programmed mode: cores sharing one LLC+DRAM (2-8; 1 = normal single-core sweep)")
+		mix       = fs.String("mix", "", "multi-programmed mode: comma-separated kernel mix, one per core (empty = default memory-bound rotation)")
 		tele      = fs.String("telemetry-addr", "", "serve /metrics, /progress (live per-worker sweep state), /healthz and pprof on this address")
 		fdump     = fs.String("flight-dump", ".", "directory for flight-recorder crash dumps (empty disables)")
 	)
@@ -72,7 +77,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "telemetry: http://%s/metrics /progress /healthz /debug/pprof/\n", srv.Addr())
 	}
 
-	if *benchCore != "" || *benchMem != "" {
+	if *benchCore != "" || *benchMem != "" || *benchMC != "" {
 		var set []string
 		if *benches != "" {
 			set = strings.Split(*benches, ",")
@@ -84,6 +89,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		if *benchMem != "" {
 			if rc := runBenchMem(*benchMem, set, *uops, stderr); rc != 0 {
+				return rc
+			}
+		}
+		if *benchMC != "" {
+			if rc := runBenchMC(*benchMC, *uops, stderr); rc != 0 {
 				return rc
 			}
 		}
@@ -117,6 +127,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// Interval-level workers stay at 1: the sweep already keeps -j
 		// runs in flight, which parallelizes without oversubscribing.
 		opts.Sample = &harness.SampleOptions{Intervals: *intervals, WindowUops: *sWindow, WarmupUops: *sWarmup, Workers: 1}
+	}
+
+	if *cores > 1 || *mix != "" {
+		return runMixMode(*cores, *mix, opts, w, *asJSON, stderr)
 	}
 
 	selected, err := selectExperiments(*exps)
@@ -320,6 +334,75 @@ func runBenchCore(path string, benches []string, uops uint64, stderr io.Writer) 
 // system + whole-simulator stall skip) against the per-cycle reference on the
 // memory-bound workloads (each pair equivalence-checked down to snapshot
 // bytes) and write BENCH_mem.json.
+// runMixMode is the multi-programmed entry point: N cores, one kernel each,
+// sharing one LLC + DRAM controller, run to a fixed per-core uop quota under
+// the baseline and the runahead buffer. It renders the per-core
+// IPC/weighted-speedup/fairness table (or, with -json, one object per
+// configuration with per-core stats keyed by core ID).
+func runMixMode(cores int, mixSpec string, opts harness.Options, w io.Writer, asJSON bool, stderr io.Writer) int {
+	var mix []string
+	if mixSpec != "" {
+		mix = strings.Split(mixSpec, ",")
+		if cores > 1 && len(mix) != cores {
+			fmt.Fprintf(stderr, "-mix names %d kernels but -cores is %d\n", len(mix), cores)
+			return 2
+		}
+	} else {
+		mix = harness.DefaultMix(cores)
+	}
+	if len(mix) < 1 || len(mix) > 8 {
+		fmt.Fprintf(stderr, "multi-programmed mode supports 1-8 cores, got %d\n", len(mix))
+		return 2
+	}
+	r := harness.NewRunner(opts)
+	var results []*harness.MixResult
+	for _, rc := range harness.MixConfigs() {
+		results = append(results, r.RunMix(mix, rc))
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	t := harness.MixTable(results)
+	t.Render(w)
+	return 0
+}
+
+// runBenchMC benchmarks the multi-core subsystem and writes BENCH_mc.json.
+func runBenchMC(path string, uops uint64, stderr io.Writer) int {
+	rep, err := harness.BenchMulticore(nil, uops)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, r := range rep.Runs {
+		fmt.Fprintf(stderr, "bench-mc: %dc %-8s %9d cycles  %8.0f c/s  WS %.2f  hmean-slowdown %.2f  max %.2f\n",
+			r.Cores, r.Config, r.SimCycles, r.CyclesPerSec, r.WeightedSpeedup, r.HmeanSlowdown, r.MaxSlowdown)
+	}
+	for _, d := range rep.Deltas {
+		fmt.Fprintf(stderr, "bench-mc: %dc RB vs base: weighted speedup %+.2f, throughput %.2fx\n",
+			d.Cores, d.WSGain, d.ThroughputRatio)
+	}
+	return 0
+}
+
 func runBenchMem(path string, benches []string, uops uint64, stderr io.Writer) int {
 	rep, err := harness.BenchMem(benches, uops)
 	if err != nil {

@@ -77,3 +77,49 @@ func TestUnknownExperimentRejected(t *testing.T) {
 		t.Fatalf("error does not name the unknown experiment: %s", errb.String())
 	}
 }
+
+// TestMixModeRuns checks the multi-programmed path end to end: -cores 2
+// must render the per-core table with both configurations and the fairness
+// summary rows, and the JSON form must key per-core stats by core ID.
+func TestMixModeRuns(t *testing.T) {
+	args := []string{"-cores", "2", "-mix", "libquantum,mcf", "-uops", "8000", "-warmup", "4000", "-q"}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("mix mode exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"multiprog", "libquantum", "mcf", "WS=", "hmean=", "max=", "Base", "RB"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("mix table missing %q:\n%s", want, out.String())
+		}
+	}
+
+	var jsOut bytes.Buffer
+	if code := run(append(append([]string{}, args...), "-json"), &jsOut, io.Discard); code != 0 {
+		t.Fatal("mix mode -json failed")
+	}
+	var results []struct {
+		Config string                     `json:"config"`
+		WS     float64                    `json:"weighted_speedup"`
+		Cores  map[string]json.RawMessage `json:"cores"`
+	}
+	if err := json.Unmarshal(jsOut.Bytes(), &results); err != nil {
+		t.Fatalf("mix JSON invalid: %v\n%s", err, jsOut.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("want 2 configurations, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.WS <= 0 || len(r.Cores) != 2 || r.Cores["0"] == nil || r.Cores["1"] == nil {
+			t.Fatalf("mix JSON missing per-core-ID stats: %s", jsOut.String())
+		}
+	}
+}
+
+// TestMixModeBadFlags pins flag validation: a -mix/-cores mismatch must be
+// rejected.
+func TestMixModeBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cores", "3", "-mix", "mcf,milc"}, &out, &errb); code == 0 {
+		t.Fatal("mismatched -mix/-cores accepted")
+	}
+}

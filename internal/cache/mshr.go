@@ -97,6 +97,11 @@ type MSHR struct {
 	// EarlyMiss callbacks fire the moment the miss is known to be DRAM-bound
 	// (runahead needs to learn this without waiting for data).
 	EarlyMiss []func(cycle int64)
+	// Req is the requestor (core) the fill is attributed to in shared MSHR
+	// files — the LLC level uses it to charge eviction writebacks to the core
+	// whose miss displaced the victim. Recycle zeroes it, so owners restamp
+	// it after every Allocate.
+	Req int
 }
 
 // NewMSHRFile returns an MSHR file with the given capacity.

@@ -380,7 +380,7 @@ func (c *Core) execLoad(d *DynInst) {
 	// only for misses, where it earns its keep. (A hit can never be runahead's
 	// DRAM-bound blocking load, so the exit check in the miss path's callback
 	// has no analogue here.)
-	if c.h.LoadHit(d.EA) {
+	if c.h.LoadHitR(c.memReq, d.EA) {
 		d.Value = value
 		d.MemLevel = memsys.LevelL1
 		c.schedule(c.now+int64(c.cfg.Mem.L1Latency), evComplete, d)
@@ -396,7 +396,7 @@ func (c *Core) execLoad(d *DynInst) {
 	// captured seq and ea keep the machine-level effects — runahead exit and
 	// miss-age bookkeeping — correct independently of the slot's fate.
 	gen, seq, ea := d.gen, d.Seq, d.EA
-	ok := c.h.Load(c.now, ea, noWait,
+	ok := c.h.LoadR(c.memReq, c.now, ea, noWait,
 		func(int64) { // DRAM-bound miss discovered
 			line := ea &^ 63
 			if _, seen := c.missAge[line]; !seen {

@@ -85,7 +85,7 @@ func (c *Core) drainStoreBuffer() {
 		return
 	}
 	e := &c.storeBuf[c.sbHead]
-	if c.h.Store(c.now, e.addr, c.storeDone) {
+	if c.h.StoreR(c.memReq, c.now, e.addr, c.storeDone) {
 		e.inflight = true
 	}
 }

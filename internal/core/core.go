@@ -48,7 +48,11 @@ type Core struct {
 	p   *prog.Program
 	mem *prog.Memory // architectural (committed) memory image
 	h   *memsys.Hierarchy
-	bp  *bpred.Predictor
+	// memReq is this core's requestor ID in the (possibly shared) hierarchy:
+	// 0 for a private single-core hierarchy, the core index in a cluster.
+	//simlint:nosnapshot construction-time topology; the restoring host rebuilds the same cluster shape
+	memReq int
+	bp     *bpred.Predictor
 
 	prf *regFile
 	ren *renamer
@@ -178,22 +182,32 @@ type sbEntry struct {
 // New builds a core running program p. The program's initial memory image is
 // cloned, so multiple cores can run the same program.
 func New(cfg Config, p *prog.Program) *Core {
+	// The per-cycle reference kernel keeps the seed's per-cycle DRAM grant
+	// scan, so the equivalence suite compares two independently computed
+	// readiness schedules (horizon vs. exhaustive scan), not one fast path
+	// against itself.
+	cfg.Mem.DRAM.Reference = cfg.ClockMode == ClockTick
+	return NewShared(cfg, p, memsys.New(cfg.Mem), 0)
+}
+
+// NewShared builds a core running program p as requestor req of hierarchy h.
+// The multi-core cluster uses it to attach N cores to one shared memory
+// system; h must have been built from cfg.Mem (with the requestor count and
+// DRAM reference-mode choices the caller wants). The program's initial
+// memory image is cloned, so multiple cores can run the same program.
+func NewShared(cfg Config, p *prog.Program, h *memsys.Hierarchy, req int) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invalid program: %v", err))
 	}
-	// The per-cycle reference kernel keeps the seed's per-cycle DRAM grant
-	// scan, so the equivalence suite compares two independently computed
-	// readiness schedules (horizon vs. exhaustive scan), not one fast path
-	// against itself.
-	cfg.Mem.DRAM.Reference = cfg.ClockMode == ClockTick
 	c := &Core{
 		cfg:     cfg,
 		p:       p,
 		mem:     p.NewMemory(),
-		h:       memsys.New(cfg.Mem),
+		h:       h,
+		memReq:  req,
 		bp:      bpred.New(cfg.BPred),
 		prf:     newRegFile(cfg.NumPhysRegs),
 		ren:     newRenamer(cfg.NumPhysRegs),
@@ -360,32 +374,79 @@ func (c *Core) fireEvent(ev coreEvent) {
 func (c *Core) Run(target uint64) *Stats {
 	for c.st.Committed < target {
 		c.Cycle()
-		if c.cfg.WatchdogCycles > 0 && c.now-c.lastProgress > c.cfg.WatchdogCycles {
-			msg := fmt.Sprintf("core: watchdog — no progress for %d cycles at cycle %d (program %q, mode %v, ROB %d/%d, committed %d, runahead=%v)",
-				c.cfg.WatchdogCycles, c.now, c.p.Name, c.cfg.Mode, c.rob.size(), c.cfg.ROBSize, c.st.Committed, c.ra.active)
-			// Pin the terminal condition into the flight recorder so the
-			// crash dump ends with the why, then die. The recover sites
-			// (harness workers, the CLIs) write the ring out as JSONL.
-			if c.flight != nil {
-				c.flight.Mark(c.now, msg)
-			}
-			panic(msg)
-		}
+		c.WatchdogCheck()
 	}
+	return c.FinalizeRun()
+}
+
+// WatchdogCheck panics when the core has made no forward progress for
+// Config.WatchdogCycles cycles (and that bound is positive). Run calls it
+// every cycle; the multi-core cluster calls it per core per step, so a
+// wedged core in a mix dies with the same diagnostics as a single-core run.
+func (c *Core) WatchdogCheck() {
+	if c.cfg.WatchdogCycles > 0 && c.now-c.lastProgress > c.cfg.WatchdogCycles {
+		msg := fmt.Sprintf("core: watchdog — no progress for %d cycles at cycle %d (program %q, mode %v, ROB %d/%d, committed %d, runahead=%v)",
+			c.cfg.WatchdogCycles, c.now, c.p.Name, c.cfg.Mode, c.rob.size(), c.cfg.ROBSize, c.st.Committed, c.ra.active)
+		// Pin the terminal condition into the flight recorder so the
+		// crash dump ends with the why, then die. The recover sites
+		// (harness workers, the CLIs) write the ring out as JSONL.
+		if c.flight != nil {
+			c.flight.Mark(c.now, msg)
+		}
+		panic(msg)
+	}
+}
+
+// FinalizeRun stamps the run-relative cycle count into the statistics and
+// flushes self-profiling metrics — the bookkeeping Run performs when its
+// commit target is reached. Externally clocked cores (cluster members) have
+// no Run loop, so their owner calls this when the run ends.
+func (c *Core) FinalizeRun() *Stats {
 	c.st.Cycles = c.now - c.statsZero
 	c.publishMetrics()
 	return c.st
 }
 
-// Cycle advances the machine by one clock.
+// Cycle advances the machine by one clock: it ticks the private memory
+// hierarchy, then runs the pipeline stages via cycleBody.
 //
 //simlint:hotpath
 func (c *Core) Cycle() {
 	c.now++
+	c.h.Tick(c.now)
+	c.cycleBody()
+	if c.cfg.ClockMode == ClockWarp {
+		c.maybeWarp()
+	}
+}
+
+// SyncClock sets the core's clock without running a cycle. The cluster
+// calls it on every core BEFORE ticking the shared hierarchy: hierarchy
+// events fire core callbacks (miss notifications, fill completions) that
+// stamp c.now, and in the single-core sequence the clock is advanced before
+// Tick — so an externally clocked core must see the new cycle the same way.
+func (c *Core) SyncClock(now int64) { c.now = now }
+
+// StepExt advances the core one cycle under an external clock — the
+// multi-core cluster's, which owns the shared hierarchy and has already
+// ticked it to now (after SyncClock). The stage sequence is exactly Cycle's,
+// so a 1-core cluster stepping `now++; core.SyncClock(now); h.Tick(now);
+// core.StepExt(now)` is bit-identical to the single-core `Cycle()`. Clock
+// warping is the cluster's job (it must consider every core's wake sources),
+// so StepExt never warps on its own.
+func (c *Core) StepExt(now int64) {
+	c.now = now
+	c.cycleBody()
+}
+
+// cycleBody runs one cycle's pipeline stages and per-cycle accounting at the
+// already-advanced clock c.now, with the hierarchy already ticked.
+//
+//simlint:hotpath
+func (c *Core) cycleBody() {
 	c.cycleCommits = 0
 	c.cycleIssued = 0
 	c.cycleRenamed = 0
-	c.h.Tick(c.now)
 
 	// Fire core events due this cycle. The slot is truncated, not nilled, so
 	// the backing array is reused; no handler can append to the firing slot
@@ -434,7 +495,7 @@ func (c *Core) Cycle() {
 	if c.flight != nil {
 		if c.flightIn--; c.flightIn <= 0 {
 			c.flightIn = flightSampleEvery
-			c.flight.Record(&trace.Event{Cycle: c.now, Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
+			c.flight.Record(&trace.Event{Cycle: c.now, Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMissesR(c.memReq)})
 		}
 	}
 	if c.tracer != nil && c.now%sampleInterval == 0 {
@@ -445,10 +506,6 @@ func (c *Core) Cycle() {
 	}
 	if c.onCycle != nil {
 		c.onCycle()
-	}
-
-	if c.cfg.ClockMode == ClockWarp {
-		c.maybeWarp()
 	}
 }
 

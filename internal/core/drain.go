@@ -18,6 +18,13 @@ const drainBound = 10_000_000
 // fully drained memory hierarchy. Only a quiesced core can be snapshotted —
 // in-flight work is closures, which have no wire representation.
 func (c *Core) Quiesced() bool {
+	return c.QuiescedCore() && c.h.Drained()
+}
+
+// QuiescedCore is Quiesced restricted to core-local state: it ignores the
+// memory hierarchy, which in a cluster is shared and checked once globally
+// rather than once per core.
+func (c *Core) QuiescedCore() bool {
 	if c.rob.size() != 0 || c.frontLen() != 0 || c.rsCount != 0 || c.lqCount != 0 || c.sqCount != 0 {
 		return false
 	}
@@ -29,8 +36,14 @@ func (c *Core) Quiesced() bool {
 			return false
 		}
 	}
-	return c.h.Drained()
+	return true
 }
+
+// SetDraining starves (or releases) the fetch stage, the same gate Drain
+// holds while running a core to quiescence. The multi-core cluster drives
+// the clock itself, so it drains by setting the flag on every core and
+// stepping the cluster until quiescence.
+func (c *Core) SetDraining(on bool) { c.draining = on }
 
 // Drain runs the machine to quiescence: fetch is starved, the window retires
 // everything in flight, and the memory hierarchy completes all outstanding

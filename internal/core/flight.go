@@ -52,11 +52,11 @@ func (c *Core) FlightMark(msg string) {
 // memory system pays nothing.
 func (c *Core) installMemHooks() {
 	if c.flight == nil && c.tracer == nil {
-		c.h.OnLLCMiss = nil
-		c.h.DRAM().OnGrant = nil
+		c.h.SetLLCMissHook(c.memReq, nil)
+		c.h.SetGrantHook(c.memReq, nil)
 		return
 	}
-	c.h.OnLLCMiss = func(now int64, line uint64, instr bool) {
+	c.h.SetLLCMissHook(c.memReq, func(now int64, line uint64, instr bool) {
 		ev := trace.Event{Cycle: now, Kind: trace.CacheMiss, Line: line, Instr: instr}
 		if c.flight != nil {
 			c.flight.Record(&ev)
@@ -65,8 +65,8 @@ func (c *Core) installMemHooks() {
 			tr.ev = ev
 			tr.sink.Emit(&tr.ev)
 		}
-	}
-	c.h.DRAM().OnGrant = func(now int64, line uint64, write, rowHit bool) {
+	})
+	c.h.SetGrantHook(c.memReq, func(now int64, line uint64, write, rowHit bool) {
 		ev := trace.Event{Cycle: now, Kind: trace.DRAMAccess, Line: line, Write: write, RowHit: rowHit}
 		if c.flight != nil {
 			c.flight.Record(&ev)
@@ -75,5 +75,5 @@ func (c *Core) installMemHooks() {
 			tr.ev = ev
 			tr.sink.Emit(&tr.ev)
 		}
-	}
+	})
 }

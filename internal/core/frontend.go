@@ -30,8 +30,8 @@ func (c *Core) fetchStage() {
 		}
 		line := c.fetchPC &^ uint64(c.cfg.Mem.L1I.LineBytes-1)
 		if line != c.lastFetchLine {
-			if c.h.L1I().Probe(line) {
-				c.h.L1I().Lookup(line) // count the hit, refresh LRU
+			if c.h.L1IR(c.memReq).Probe(line) {
+				c.h.L1IR(c.memReq).Lookup(line) // count the hit, refresh LRU
 				c.lastFetchLine = line
 			} else {
 				// c.fetchDone is one shared callback; it matches the fill's
@@ -40,7 +40,7 @@ func (c *Core) fetchStage() {
 				// allocated per I-miss.
 				c.icacheWait = true
 				c.fetchWaitLine = line
-				if !c.h.Fetch(c.now, line, c.fetchDone) {
+				if !c.h.FetchR(c.memReq, c.now, line, c.fetchDone) {
 					c.icacheWait = false // MSHR full; retry next cycle
 				}
 				break

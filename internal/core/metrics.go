@@ -158,7 +158,8 @@ func (c *Core) publishMetrics() {
 	pubDelta(cm.dramHorizonSkips, dc.HorizonSkips, &p.dramSkips)
 	pubDelta(cm.dramGrantScans, dc.GrantScans, &p.dramScans)
 
-	l1i, l1d, llc := c.h.MSHRFiles()
+	l1i, l1d := c.h.MSHRFilesR(c.memReq)
+	llc := c.h.LLCMSHRFile()
 	pubDelta(cm.mshrPoolHits, l1i.PoolHits+l1d.PoolHits+llc.PoolHits, &p.mshrHits)
 	pubDelta(cm.mshrPoolNews, l1i.PoolNews+l1d.PoolNews+llc.PoolNews, &p.mshrNews)
 

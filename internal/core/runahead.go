@@ -124,7 +124,7 @@ func (c *Core) tryEnterRunahead(d *DynInst) {
 	c.ra.chain = chain
 	c.ra.bufferPos = 0
 	c.ra.bufferReadyAt = c.now + genCycles
-	c.ra.dramReadsAtEntry = c.h.DRAMReadsDemand
+	c.ra.dramReadsAtEntry = c.h.Req(c.memReq).DRAMReadsDemand
 	c.ra.committedAtEntry = c.st.Committed
 	c.ra.pseudoRetired = 0
 	c.ra.bufferMemLoads = 0
@@ -231,7 +231,9 @@ func (c *Core) findOtherInstance(d *DynInst) *DynInst {
 // runahead cache, and refetch from the blocking load (which now hits).
 func (c *Core) exitRunahead() {
 	// Interval statistics.
-	misses := c.h.DRAMReadsDemand - c.ra.dramReadsAtEntry
+	// Per-requestor so a cluster core counts only its own interval misses,
+	// not its neighbors' (identical to the aggregate on a private hierarchy).
+	misses := c.h.Req(c.memReq).DRAMReadsDemand - c.ra.dramReadsAtEntry
 	c.st.RunaheadMissesLLC += misses
 	c.st.MissesPerInterval.Observe(misses)
 	c.st.RunaheadIntervalLens.Observe(uint64(c.now - c.ra.entryCycle))

@@ -174,6 +174,29 @@ func (c *Core) Snapshot() ([]byte, error) {
 }
 
 func (c *Core) snapshotTo(w *snapshot.Writer) error {
+	if err := c.snapshotCoreTo(w); err != nil {
+		return err
+	}
+	return c.h.SnapshotTo(w)
+}
+
+// SnapshotCoreTo serializes the core-only state (pipeline, runahead
+// controller, predictor, architectural memory) without the memory hierarchy.
+// The multi-core container writes one such section per core followed by a
+// single shared-hierarchy section; single-core snapshots append the private
+// hierarchy to the same bytes. The core must be quiesced and drained.
+func (c *Core) SnapshotCoreTo(w *snapshot.Writer) error {
+	if c.cfg.DepTrack {
+		return fmt.Errorf("core: DepTrack cores cannot be snapshotted (dependence tracker state has no wire format)")
+	}
+	if !c.Quiesced() {
+		return fmt.Errorf("core: snapshotting a non-quiesced core\n%s", c.dump())
+	}
+	c.normalizeDrained()
+	return c.snapshotCoreTo(w)
+}
+
+func (c *Core) snapshotCoreTo(w *snapshot.Writer) error {
 	w.Mark("core")
 	w.U64(c.configFingerprint())
 	w.Str(c.p.Name)
@@ -266,10 +289,7 @@ func (c *Core) snapshotTo(w *snapshot.Writer) error {
 	if err := c.bp.SnapshotTo(w); err != nil {
 		return err
 	}
-	if err := c.mem.SnapshotTo(w); err != nil {
-		return err
-	}
-	return c.h.SnapshotTo(w)
+	return c.mem.SnapshotTo(w)
 }
 
 // RestoreCore decodes a whole-machine snapshot into a fresh core built from
@@ -296,6 +316,31 @@ func RestoreCore(data []byte, cfg Config, p *prog.Program) (*Core, error) {
 }
 
 func (c *Core) restoreFrom(r *snapshot.Reader) error {
+	if err := c.restoreCoreFrom(r); err != nil {
+		return err
+	}
+	if err := c.h.RestoreFrom(r); err != nil {
+		return err
+	}
+	c.normalizeDrained()
+	return nil
+}
+
+// RestoreCoreFrom reads the core-only state written by SnapshotCoreTo into
+// c, which must be freshly built (from the same configuration and program)
+// and not yet run. The caller restores the shared hierarchy separately.
+func (c *Core) RestoreCoreFrom(r *snapshot.Reader) error {
+	if c.cfg.DepTrack {
+		return fmt.Errorf("core: DepTrack cores cannot be restored from a snapshot")
+	}
+	if err := c.restoreCoreFrom(r); err != nil {
+		return err
+	}
+	c.normalizeDrained()
+	return nil
+}
+
+func (c *Core) restoreCoreFrom(r *snapshot.Reader) error {
 	r.Expect("core")
 	if fp := r.U64(); r.Err() == nil && fp != c.configFingerprint() {
 		r.Failf("core: snapshot was taken under a different configuration (fingerprint %#x, this core %#x)", fp, c.configFingerprint())
@@ -413,12 +458,5 @@ func (c *Core) restoreFrom(r *snapshot.Reader) error {
 	if err := c.mem.RestoreFrom(r); err != nil {
 		return err
 	}
-	if err := c.h.RestoreFrom(r); err != nil {
-		return err
-	}
-	if r.Err() != nil {
-		return r.Err()
-	}
-	c.normalizeDrained()
-	return nil
+	return r.Err()
 }

@@ -46,7 +46,7 @@ func (c *Core) Timeline() *stats.Timeline {
 func (c *Core) tickTimeline() {
 	t := c.tl
 	t.robOccSum += int64(c.rob.size())
-	t.mshrOccSum += int64(c.h.OutstandingDataMisses())
+	t.mshrOccSum += int64(c.h.OutstandingDataMissesR(c.memReq))
 	if c.ra.active {
 		t.raCycles++
 	}

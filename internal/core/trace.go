@@ -142,6 +142,6 @@ func (c *Core) traceRunaheadExit(misses uint64) {
 // Called from Cycle every sampleInterval cycles while a tracer is attached.
 func (c *Core) traceSample() {
 	if c.tracer != nil {
-		c.emit(trace.Event{Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMisses()})
+		c.emit(trace.Event{Kind: trace.Sample, ROBOcc: c.rob.size(), MSHROcc: c.h.OutstandingDataMissesR(c.memReq)})
 	}
 }

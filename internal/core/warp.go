@@ -42,8 +42,43 @@ import (
 // (recovery-shadow expiries, tracer sample ticks, timeline intervals), so the
 // classification is uniform across the span.
 //
+// The machinery is split in three so the multi-core cluster can reuse it:
+// WarpSources runs the quiescence vetoes and collects this core's own wake
+// sources (everything except the memory hierarchy, which the cluster
+// shares); WarpClamp lowers a candidate target to this core's accounting
+// boundaries; ApplyWarp performs the bulk attribution and moves the clock.
+// maybeWarp composes them for the single-core machine; the cluster takes
+// the min of every core's sources plus the shared hierarchy's NextEvent,
+// clamps through every core, and applies to all.
+//
 //simlint:hotpath
 func (c *Core) maybeWarp() {
+	t, ok := c.WarpSources()
+	if !ok {
+		return
+	}
+	if ht := c.h.NextEvent(); ht < t {
+		t = ht
+	}
+	if t == memsys.Never {
+		c.prof.veto[vetoNoEvent]++
+		return
+	}
+	t = c.WarpClamp(t)
+	if t <= c.now+1 {
+		c.prof.veto[vetoAdjacent]++
+		return // the next cycle has work; nothing to skip
+	}
+	c.ApplyWarp(t)
+}
+
+// WarpSources runs the quiescence vetoes and, when the core is provably
+// idle, returns the earliest future cycle at which the core's own state can
+// change — excluding the shared memory hierarchy, whose NextEvent the caller
+// merges. It returns (memsys.Never, true) for a quiescent core with no
+// core-local wake source, and ok == false when this cycle's activity vetoes
+// warping.
+func (c *Core) WarpSources() (t int64, ok bool) {
 	// This cycle moved uops through rename or issue: the next cycle may move
 	// more with no event in between (width and port budgets reset). A cycle
 	// that committed must not warp either — not because the machine isn't
@@ -53,12 +88,12 @@ func (c *Core) maybeWarp() {
 	// recorded cycle count relative to the per-cycle reference).
 	if c.cycleIssued != 0 || c.cycleRenamed != 0 || c.cycleCommits != 0 {
 		c.prof.veto[vetoProgress]++
-		return
+		return 0, false
 	}
 	// A pending runahead exit flushes the pipeline next cycle.
 	if c.ra.pendingExit {
 		c.prof.veto[vetoRunaheadExit]++
-		return
+		return 0, false
 	}
 	// Commit: inert only when the window is empty or its head has not
 	// executed (an executed head retires — or pseudo-retires — next cycle).
@@ -67,18 +102,18 @@ func (c *Core) maybeWarp() {
 		head = c.rob.at(0)
 		if head.Executed {
 			c.prof.veto[vetoCommitHead]++
-			return
+			return 0, false
 		}
 	}
 	// Store buffer: a head entry not yet in flight retries h.Store every
 	// cycle (and each attempt mutates hierarchy counters).
 	if c.sbLen() > 0 && !c.storeBuf[c.sbHead].inflight {
 		c.prof.veto[vetoStoreBuffer]++
-		return
+		return 0, false
 	}
 	if !c.fetchInert() {
 		c.prof.veto[vetoFetch]++
-		return
+		return 0, false
 	}
 	// Runahead entry: while a DRAM-bound load blocks the head, commitStage
 	// calls tryEnterRunahead every cycle. That call is a pure no-op only in
@@ -89,22 +124,23 @@ func (c *Core) maybeWarp() {
 		head.U.Op.IsLoad() && head.DRAMBound {
 		if c.ra.lastAttempt != head.Seq {
 			c.prof.veto[vetoRunaheadEntry]++
-			return // no attempt recorded yet for this stall
+			return 0, false // no attempt recorded yet for this stall
 		}
 		if !c.ra.noRetry {
 			if c.ra.retryAt <= c.now {
 				c.prof.veto[vetoRunaheadEntry]++
-				return // the retry is due; the next cycle re-attempts
+				return 0, false // the retry is due; the next cycle re-attempts
 			}
 			raRetry = true
 		}
 	}
 
-	// Wake sources: the earliest future cycle at which machine state can
-	// change. If none exists the machine is dead or drained — tick per cycle
-	// and let Run's loop, the watchdog, or Drain's quiescence check decide,
-	// at exactly the cycle the reference would.
-	t := c.h.NextEvent()
+	// Wake sources: the earliest future cycle at which the core's own state
+	// can change. If none exists here or in the shared hierarchy the machine
+	// is dead or drained — tick per cycle and let Run's loop, the watchdog,
+	// or Drain's quiescence check decide, at exactly the cycle the reference
+	// would.
+	t = memsys.Never
 	if c.pendingCoreEvents > 0 {
 		if at := c.nextCoreEventAt(); at < t {
 			t = at
@@ -122,13 +158,14 @@ func (c *Core) maybeWarp() {
 	if c.ra.active && c.ra.usingBuffer && c.ra.bufferReadyAt > c.now && c.ra.bufferReadyAt < t {
 		t = c.ra.bufferReadyAt // chain generation completes; buffer feeds
 	}
-	if t == memsys.Never {
-		c.prof.veto[vetoNoEvent]++
-		return
-	}
+	return t, true
+}
 
-	// Clamps: boundaries that do not wake the machine but change how cycles
-	// are classified (or must themselves execute), so the span stays uniform.
+// WarpClamp lowers candidate warp target t to this core's accounting
+// boundaries: cycles that do not wake the machine but change how skipped
+// cycles are classified (or must themselves execute), so the attributed span
+// stays uniform.
+func (c *Core) WarpClamp(t int64) int64 {
 	if c.cfg.WatchdogCycles > 0 {
 		if bound := c.lastProgress + c.cfg.WatchdogCycles + 1; bound < t {
 			t = bound // Run panics at this cycle; reach it, don't pass it
@@ -150,10 +187,17 @@ func (c *Core) maybeWarp() {
 			t = next // the sample-emitting cycle must execute
 		}
 	}
+	return t
+}
 
-	if t <= c.now+1 {
-		c.prof.veto[vetoAdjacent]++
-		return // the next cycle has work; nothing to skip
+// ApplyWarp jumps the core's clock to one cycle before target t (already
+// vetted by WarpSources and clamped by WarpClamp, with t > now+1),
+// attributing the skipped span in bulk to exactly the counters the per-cycle
+// loop would have incremented under the frozen machine state.
+func (c *Core) ApplyWarp(t int64) {
+	var head *DynInst
+	if c.rob.size() > 0 {
+		head = c.rob.at(0)
 	}
 	skip := t - 1 - c.now
 	if metrics.Enabled {
@@ -187,7 +231,7 @@ func (c *Core) maybeWarp() {
 	c.st.CPIStack[c.warpBucket(head)] += skip
 	if c.tl != nil {
 		c.tl.robOccSum += int64(c.rob.size()) * skip
-		c.tl.mshrOccSum += int64(c.h.OutstandingDataMisses()) * skip
+		c.tl.mshrOccSum += int64(c.h.OutstandingDataMissesR(c.memReq)) * skip
 		if c.ra.active {
 			c.tl.raCycles += skip
 		}

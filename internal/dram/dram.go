@@ -88,6 +88,11 @@ type Request struct {
 	LineAddr uint64
 	Write    bool
 	Arrival  int64
+	// Req identifies the requestor (core) the access serves. Single-requestor
+	// hierarchies leave it 0; shared hierarchies stamp it so the controller
+	// can keep per-requestor service statistics and hosts can attribute
+	// grants to cores.
+	Req int
 	// Done is called at the cycle the last data beat leaves the bus. Nil is
 	// allowed (writebacks usually don't need completion).
 	Done func(cycle int64)
@@ -127,9 +132,10 @@ type Controller struct {
 
 	// OnGrant, when non-nil, is invoked as the controller grants each
 	// request (the observability layer's DRAM-access event hook). rowHit
-	// reports whether the access hit the bank's open row.
+	// reports whether the access hit the bank's open row; the request itself
+	// carries the line, direction, and requestor id.
 	//simlint:nosnapshot host hook; the restoring hierarchy re-wires it
-	OnGrant func(now int64, lineAddr uint64, write, rowHit bool)
+	OnGrant func(now int64, r *Request, rowHit bool)
 	// Release, when non-nil, receives each request after its completion
 	// callback has run. The memory hierarchy uses it to recycle requests
 	// through a free pool instead of allocating one per miss.
@@ -145,6 +151,17 @@ type Controller struct {
 	RowConflicts uint64 // wrong row open
 	Rejects      uint64 // enqueue attempts while full
 	Latency      *stats.Histogram
+
+	// PerRequestor splits service statistics by Request.Req — the contention
+	// picture a shared memory system reports per core. Sized by
+	// EnsureRequestors (single-requestor controllers keep one slot); grants
+	// from an unregistered requestor grow it on demand.
+	PerRequestor []RequestorStats
+	// BankGrants and BankConflicts count, per [channel][bank], granted
+	// requests and grants that paid a row conflict — where the address
+	// streams of competing requestors actually collide.
+	BankGrants    [][]uint64
+	BankConflicts [][]uint64
 
 	// Simulator self-profiling (not simulated state, not snapshotted):
 	// Tick outcomes per channel — how often the grant horizon let the fast
@@ -176,7 +193,34 @@ func New(cfg Config) *Controller {
 			c.nextRef[i] = cfg.RefreshInterval * int64(i+1) / int64(cfg.Channels)
 		}
 	}
+	c.PerRequestor = make([]RequestorStats, 1)
+	c.BankGrants = make([][]uint64, cfg.Channels)
+	c.BankConflicts = make([][]uint64, cfg.Channels)
+	for i := range c.BankGrants {
+		c.BankGrants[i] = make([]uint64, cfg.BanksPerChannel)
+		c.BankConflicts[i] = make([]uint64, cfg.BanksPerChannel)
+	}
 	return c
+}
+
+// RequestorStats is one requestor's slice of the controller's service
+// statistics. WaitCycles sums enqueue-to-last-data-beat latency over the
+// requestor's granted requests, so WaitCycles/(Reads+Writes) is its mean
+// memory latency under whatever contention the other requestors generate.
+type RequestorStats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowConflicts uint64
+	WaitCycles   uint64
+}
+
+// EnsureRequestors grows the per-requestor statistics table to n slots. The
+// shared memory hierarchy calls it at construction; it never shrinks.
+func (c *Controller) EnsureRequestors(n int) {
+	for len(c.PerRequestor) < n {
+		c.PerRequestor = append(c.PerRequestor, RequestorStats{})
+	}
 }
 
 // Config returns the controller configuration.
@@ -419,19 +463,25 @@ func (c *Controller) grant(r *Request, now int64) {
 	b := &c.banks[r.channel][r.bank]
 	rowHit := b.hasOpen && b.openRow == r.row
 	if c.OnGrant != nil {
-		c.OnGrant(now, r.LineAddr, r.Write, rowHit)
+		c.OnGrant(now, r, rowHit)
 	}
+	c.EnsureRequestors(r.Req + 1)
+	rs := &c.PerRequestor[r.Req]
+	c.BankGrants[r.channel][r.bank]++
 	var access int
 	switch {
 	case rowHit:
 		access = c.cfg.TCAS
 		c.RowHits++
+		rs.RowHits++
 	case !b.hasOpen:
 		access = c.cfg.TRCD + c.cfg.TCAS
 		c.RowMisses++
 	default:
 		access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
 		c.RowConflicts++
+		rs.RowConflicts++
+		c.BankConflicts[r.channel][r.bank]++
 	}
 	// Banks work in parallel; only the data transfer serializes on the
 	// channel's bus.
@@ -446,9 +496,12 @@ func (c *Controller) grant(r *Request, now int64) {
 	c.busAt[r.channel] = finish
 	if r.Write {
 		c.Writes++
+		rs.Writes++
 	} else {
 		c.Reads++
+		rs.Reads++
 	}
+	rs.WaitCycles += uint64(finish - r.Arrival)
 	c.Latency.Observe(uint64(finish - r.Arrival))
 	if r.DoneR != nil {
 		r.DoneR(r, finish)
@@ -472,4 +525,11 @@ func (c *Controller) ResetStats() {
 	c.Reads, c.Writes = 0, 0
 	c.RowHits, c.RowMisses, c.RowConflicts, c.Rejects = 0, 0, 0, 0
 	c.Latency = stats.NewHistogram(64, 16)
+	for i := range c.PerRequestor {
+		c.PerRequestor[i] = RequestorStats{}
+	}
+	for ch := range c.BankGrants {
+		clear(c.BankGrants[ch])
+		clear(c.BankConflicts[ch])
+	}
 }

@@ -39,6 +39,21 @@ func (c *Controller) SnapshotTo(w *snapshot.Writer) error {
 	w.U64(c.RowMisses)
 	w.U64(c.RowConflicts)
 	w.U64(c.Rejects)
+	w.Int(len(c.PerRequestor))
+	for i := range c.PerRequestor {
+		rs := &c.PerRequestor[i]
+		w.U64(rs.Reads)
+		w.U64(rs.Writes)
+		w.U64(rs.RowHits)
+		w.U64(rs.RowConflicts)
+		w.U64(rs.WaitCycles)
+	}
+	for ch := range c.BankGrants {
+		for b := range c.BankGrants[ch] {
+			w.U64(c.BankGrants[ch][b])
+			w.U64(c.BankConflicts[ch][b])
+		}
+	}
 	return c.Latency.SnapshotTo(w)
 }
 
@@ -80,5 +95,28 @@ func (c *Controller) RestoreFrom(r *snapshot.Reader) error {
 	c.RowMisses = r.U64()
 	c.RowConflicts = r.U64()
 	c.Rejects = r.U64()
+	n := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	c.EnsureRequestors(n)
+	if len(c.PerRequestor) != n {
+		r.Failf("dram: controller tracks %d requestors, snapshot has %d", len(c.PerRequestor), n)
+		return r.Err()
+	}
+	for i := range c.PerRequestor {
+		rs := &c.PerRequestor[i]
+		rs.Reads = r.U64()
+		rs.Writes = r.U64()
+		rs.RowHits = r.U64()
+		rs.RowConflicts = r.U64()
+		rs.WaitCycles = r.U64()
+	}
+	for ch := range c.BankGrants {
+		for b := range c.BankGrants[ch] {
+			c.BankGrants[ch][b] = r.U64()
+			c.BankConflicts[ch][b] = r.U64()
+		}
+	}
 	return c.Latency.RestoreFrom(r)
 }

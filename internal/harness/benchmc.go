@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"runaheadsim/internal/multicore"
+	"runaheadsim/internal/prog"
+	"runaheadsim/internal/snapshot"
+	"runaheadsim/internal/workload"
+)
+
+// This file benchmarks the multi-core subsystem: simulation throughput and
+// multi-programmed quality (weighted speedup) of the runahead buffer against
+// the baseline at 2 and 4 cores on the default memory-bound mix. Every rep
+// re-proves determinism — byte-identical cluster snapshots across
+// repetitions — so throughput can never come from nondeterministic
+// shortcuts. cmd/runahead-sweep's -bench-mc flag writes the result to
+// BENCH_mc.json; `make bench-mc` is the canonical invocation.
+
+// benchMCReps is the timing-repetition count per (cores, config) cell; the
+// reported wall time is the minimum (same rationale as benchMemReps).
+const benchMCReps = 3
+
+// DefaultBenchMCCores are the cluster sizes the multicore benchmark times.
+func DefaultBenchMCCores() []int { return []int{2, 4} }
+
+// BenchMCRun is one (core-count, configuration) timing cell.
+type BenchMCRun struct {
+	Cores  int      `json:"cores"`
+	Mix    []string `json:"mix"`
+	Config string   `json:"config"`
+
+	SimCycles     int64  `json:"sim_cycles"`
+	CommittedUops uint64 `json:"committed_uops"` // summed over cores
+
+	WeightedSpeedup float64 `json:"weighted_speedup"`
+	HmeanSlowdown   float64 `json:"hmean_slowdown"`
+	MaxSlowdown     float64 `json:"max_slowdown"`
+
+	WallSec      float64 `json:"wall_sec"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	UopsPerSec   float64 `json:"committed_uops_per_sec"`
+
+	// SnapshotDigest is the FNV digest of the drained cluster snapshot —
+	// verified identical across every timing repetition before reporting.
+	SnapshotDigest string `json:"snapshot_digest"`
+}
+
+// BenchMCDelta is the headline comparison at one core count: what the
+// runahead buffer buys (weighted speedup) and costs (simulation throughput)
+// relative to the baseline.
+type BenchMCDelta struct {
+	Cores int `json:"cores"`
+
+	WSBase float64 `json:"weighted_speedup_base"`
+	WSRB   float64 `json:"weighted_speedup_rb"`
+	WSGain float64 `json:"weighted_speedup_gain"` // WSRB - WSBase
+
+	CyclesPerSecBase float64 `json:"sim_cycles_per_sec_base"`
+	CyclesPerSecRB   float64 `json:"sim_cycles_per_sec_rb"`
+	ThroughputRatio  float64 `json:"throughput_ratio_rb_vs_base"`
+}
+
+// BenchMCReport is the BENCH_mc.json schema.
+type BenchMCReport struct {
+	MeasureUops uint64         `json:"measure_uops"`
+	Reps        int            `json:"timing_reps"`
+	Runs        []BenchMCRun   `json:"runs"`
+	Deltas      []BenchMCDelta `json:"deltas"`
+}
+
+// BenchMulticore times the default memory-bound mix at each core count under
+// the baseline and runahead-buffer configurations, reporting simulation
+// throughput and weighted-speedup deltas. coreCounts nil selects 2 and 4
+// cores; uops 0 selects 100k measured uops per core. Alone-IPC reference
+// runs are memoized across all cells.
+func BenchMulticore(coreCounts []int, uops uint64) (*BenchMCReport, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = DefaultBenchMCCores()
+	}
+	if uops == 0 {
+		uops = 100_000
+	}
+	alone := NewRunner(Options{MeasureUops: uops})
+	rep := &BenchMCReport{MeasureUops: uops, Reps: benchMCReps}
+	for _, n := range coreCounts {
+		mix := DefaultMix(n)
+		var cell [2]BenchMCRun
+		for ci, rc := range MixConfigs() {
+			run, err := benchMixCell(alone, mix, rc, uops)
+			if err != nil {
+				return nil, err
+			}
+			cell[ci] = *run
+			rep.Runs = append(rep.Runs, *run)
+		}
+		rep.Deltas = append(rep.Deltas, BenchMCDelta{
+			Cores:            n,
+			WSBase:           cell[0].WeightedSpeedup,
+			WSRB:             cell[1].WeightedSpeedup,
+			WSGain:           cell[1].WeightedSpeedup - cell[0].WeightedSpeedup,
+			CyclesPerSecBase: cell[0].CyclesPerSec,
+			CyclesPerSecRB:   cell[1].CyclesPerSec,
+			ThroughputRatio:  cell[1].CyclesPerSec / cell[0].CyclesPerSec,
+		})
+	}
+	return rep, nil
+}
+
+// benchMixCell times one (mix, configuration) cell: benchMCReps repetitions
+// of warmup + reset + measured region, wall time the minimum over reps, and
+// a drained cluster snapshot per rep whose digests must all agree.
+func benchMixCell(alone *Runner, mix []string, rc RunConfig, uops uint64) (*BenchMCRun, error) {
+	cfg := configFor(rc)
+	var warmup uint64
+	progs := func() []*prog.Program {
+		ps := make([]*prog.Program, len(mix))
+		for i, b := range mix {
+			ps[i] = workload.MustLoad(b)
+		}
+		return ps
+	}
+	for _, b := range mix {
+		spec, ok := workload.SpecOf(b)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q in mix", b)
+		}
+		if w := (Options{}).warmup(spec.Class); w > warmup {
+			warmup = w
+		}
+	}
+
+	var best float64
+	var cl *multicore.Cluster
+	var digest, committed uint64
+	var cycles int64
+	for r := 0; r < benchMCReps; r++ {
+		c := multicore.New(cfg, progs())
+		c.Run(warmup)
+		c.ResetStats()
+		runtime.GC() // keep allocator state comparable across reps
+		//simlint:allow determinism -- wall-clock timing is the measurement here, not simulated state
+		t0 := time.Now()
+		sts := c.Run(uops)
+		sec := time.Since(t0).Seconds()
+		// Capture before Snapshot: its drain keeps committing in-flight
+		// uops, and the measurement window ends at the quota run.
+		committed, cycles = 0, sts[0].Cycles
+		for _, st := range sts {
+			committed += st.Committed
+		}
+		snap, err := c.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("%v/%dc: %w", rc.Label(), len(mix), err)
+		}
+		d := snapshot.HashBytes(snap)
+		if r > 0 && d != digest {
+			return nil, fmt.Errorf("%v/%dc: nondeterministic — cluster snapshots differ across repetitions",
+				rc.Label(), len(mix))
+		}
+		digest = d
+		if r == 0 || sec < best {
+			best = sec
+		}
+		cl = c
+	}
+
+	run := &BenchMCRun{
+		Cores: len(mix), Mix: mix, Config: rc.Label(),
+		WallSec: best, SnapshotDigest: fmt.Sprintf("%016x", digest),
+	}
+	var invSum float64
+	for i, b := range mix {
+		fin := cl.FinishCycle(i)
+		ipcShared := float64(uops) / float64(fin)
+		ipcAlone := alone.Result(b, rc).IPC
+		sd := ipcAlone / ipcShared
+		run.WeightedSpeedup += ipcShared / ipcAlone
+		invSum += 1 / sd
+		if sd > run.MaxSlowdown {
+			run.MaxSlowdown = sd
+		}
+	}
+	run.HmeanSlowdown = float64(len(mix)) / invSum
+	run.CommittedUops = committed
+	run.SimCycles = cycles
+	run.CyclesPerSec = float64(run.SimCycles) / best
+	run.UopsPerSec = float64(run.CommittedUops) / best
+	return run, nil
+}

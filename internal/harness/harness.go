@@ -172,8 +172,9 @@ func (o Options) warmup(class workload.Class) uint64 {
 type Runner struct {
 	opts Options
 
-	mu    sync.Mutex
-	cache map[string]*entry
+	mu       sync.Mutex
+	cache    map[string]*entry
+	mixCache map[string]*mixEntry
 
 	// Planning mode (see Plan): Result records the requested pair and
 	// returns a placeholder instead of simulating.
@@ -200,7 +201,7 @@ func NewRunner(opts Options) *Runner {
 	if opts.MeasureUops == 0 {
 		opts.MeasureUops = DefaultOptions().MeasureUops
 	}
-	return &Runner{opts: opts, cache: make(map[string]*entry)}
+	return &Runner{opts: opts, cache: make(map[string]*entry), mixCache: make(map[string]*mixEntry)}
 }
 
 func key(bench string, rc RunConfig) string {

@@ -7,22 +7,35 @@ import (
 )
 
 // CheckInvariants verifies the hierarchy's structural invariants. The cheap
-// MSHR conservation checks always run; deep adds the full-array scans (LRU
-// stack integrity and inclusive-LLC containment), which the sanitizer runs
-// on a coarser interval. It returns the first violation found.
+// per-requestor MSHR conservation checks always run; deep adds the
+// full-array scans (LRU stack integrity and inclusive-LLC containment),
+// which the sanitizer runs on a coarser interval. It returns the first
+// violation found.
 func (h *Hierarchy) CheckInvariants(deep bool) error {
-	files := []struct {
-		name string
-		f    *cache.MSHRFile
-	}{
-		{"L1I", h.l1iMSHR},
-		{"L1D", h.l1dMSHR},
-		{"LLC", h.llcMSHR},
-	}
-	for _, mf := range files {
-		if err := mf.f.CheckConservation(); err != nil {
-			return fmt.Errorf("%s MSHRs: %w", mf.name, err)
+	for i := range h.fr {
+		f := &h.fr[i]
+		if err := f.l1iMSHR.CheckConservation(); err != nil {
+			return fmt.Errorf("req %d L1I MSHRs: %w", i, err)
 		}
+		if err := f.l1dMSHR.CheckConservation(); err != nil {
+			return fmt.Errorf("req %d L1D MSHRs: %w", i, err)
+		}
+	}
+	if err := h.llcMSHR.CheckConservation(); err != nil {
+		return fmt.Errorf("LLC MSHRs: %w", err)
+	}
+	// Arbiter bookkeeping: the pending count is the sum of live queue
+	// segments, and every queued entry belongs to a real requestor.
+	queued := 0
+	for r := range h.arb.q {
+		seg := len(h.arb.q[r]) - h.arb.head[r]
+		if seg < 0 {
+			return fmt.Errorf("memsys: arbiter queue %d head %d past length %d", r, h.arb.head[r], len(h.arb.q[r]))
+		}
+		queued += seg
+	}
+	if queued != h.arb.pending {
+		return fmt.Errorf("memsys: arbiter pending=%d but queues hold %d entries", h.arb.pending, queued)
 	}
 	// Event-horizon soundness: a late event means the warped clock jumped
 	// over a due cycle, and a late DRAM grant horizon would make the
@@ -36,35 +49,47 @@ func (h *Hierarchy) CheckInvariants(deep bool) error {
 	if !deep {
 		return nil
 	}
-	for _, c := range []*cache.Cache{h.l1i, h.l1d, h.llc} {
-		if err := c.CheckIntegrity(); err != nil {
-			return err
+	for i := range h.fr {
+		f := &h.fr[i]
+		for _, c := range []*cache.Cache{f.l1i, f.l1d} {
+			if err := c.CheckIntegrity(); err != nil {
+				return fmt.Errorf("req %d: %w", i, err)
+			}
 		}
+	}
+	if err := h.llc.CheckIntegrity(); err != nil {
+		return err
 	}
 	return h.checkInclusion()
 }
 
-// checkInclusion verifies the inclusive-LLC property: every valid L1 line is
-// either present in the LLC or has its fill still in flight in the LLC MSHRs
-// (an L1 fill is scheduled LLCLatency cycles after the LLC lookup, so the
-// line is legitimately L1-bound before it lands).
+// checkInclusion verifies the inclusive-LLC property across every requestor:
+// every valid L1 line is either present in the shared LLC or has its fill
+// still in flight in the LLC MSHRs (an L1 fill is scheduled LLCLatency
+// cycles after the LLC lookup, so the line is legitimately L1-bound before
+// it lands).
 func (h *Hierarchy) checkInclusion() error {
 	var violation error
-	check := func(l1name string, l1 *cache.Cache) {
+	check := func(req int, l1name string, l1 *cache.Cache) {
+		base := reqBase(req)
 		l1.ForEachValid(func(line uint64) {
 			if violation != nil {
 				return
 			}
-			if h.llc.Probe(line) {
+			// L1 lines are requestor-local; the shared LLC holds them in
+			// the requestor's private region.
+			if h.llc.Probe(line | base) {
 				return
 			}
-			if _, ok := h.llcMSHR.Lookup(line); ok {
+			if _, ok := h.llcMSHR.Lookup(line | base); ok {
 				return
 			}
-			violation = fmt.Errorf("inclusion broken: %s holds line %#x absent from the LLC and its MSHRs", l1name, line)
+			violation = fmt.Errorf("inclusion broken: req %d %s holds line %#x absent from the LLC and its MSHRs", req, l1name, line)
 		})
 	}
-	check("L1D", h.l1d)
-	check("L1I", h.l1i)
+	for i := range h.fr {
+		check(i, "L1D", h.fr[i].l1d)
+		check(i, "L1I", h.fr[i].l1i)
+	}
 	return violation
 }

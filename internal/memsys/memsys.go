@@ -11,6 +11,16 @@
 // fires as soon as an LLC miss is discovered, while the fill itself keeps
 // going in the background — that background fill is exactly runahead's
 // prefetching effect.
+//
+// The hierarchy is natively multi-requestor: NewShared builds one with N
+// private L1 front ends (per-requestor caches, MSHRs, and statistics)
+// competing for one inclusive LLC and one DRAM controller, which is how the
+// multi-core cluster models shared-memory contention. New is the
+// single-requestor special case — requestor 0 owns everything — and the
+// requestor-less methods (Load, Store, Fetch...) address it, so single-core
+// callers are untouched. When more than one requestor exists, L1 misses pass
+// through a deterministic round-robin LLC arbiter (Config.LLCPorts grants
+// per cycle) instead of going straight to the LLC lookup.
 package memsys
 
 import (
@@ -42,6 +52,12 @@ type Config struct {
 	L1Latency, LLCLatency        int
 	L1DMSHRs, L1IMSHRs, LLCMSHRs int
 	DRAM                         dram.Config
+	// LLCPorts bounds how many L1-miss accesses the shared LLC accepts per
+	// cycle when the hierarchy has more than one requestor; the round-robin
+	// arbiter queues the excess. Zero means the default (2). Ignored in
+	// single-requestor hierarchies, where the L1→LLC path is unarbitrated
+	// exactly as in the original single-core model.
+	LLCPorts int
 	// EnablePrefetch turns on the prefetcher at the LLC.
 	EnablePrefetch bool
 	// PrefetchKind selects the engine: "stream" (the paper's Table 1
@@ -64,6 +80,7 @@ func DefaultConfig() Config {
 		L1DMSHRs:       32,
 		L1IMSHRs:       8,
 		LLCMSHRs:       64,
+		LLCPorts:       2,
 		DRAM:           dram.DefaultConfig(),
 		EnablePrefetch: false,
 		PrefetchKind:   "stream",
@@ -93,17 +110,19 @@ type evKind uint8
 const (
 	evDone      evKind = iota // fire done(Outcome{h.now, lvl})
 	evMiss                    // fire miss(h.now)
-	evLLCAccess               // llcAccess(line, rk)
-	evFillL1                  // fillL1(line, rk, false) — LLC-hit fill
+	evLLCAccess               // llcAccess(req, line, rk)
+	evFillL1                  // fillL1(req, line, rk, false) — LLC-hit fill
 	evFillLLC                 // fillLLC(line, pf) — line arrived from DRAM
 )
 
-// event is one scheduled hierarchy action.
+// event is one scheduled hierarchy action. req routes L1-bound actions to
+// the owning requestor's front end.
 type event struct {
 	cycle int64
 	seq   uint64
 	kind  evKind
 	line  uint64
+	req   int32
 	rk    reqKind
 	lvl   Level
 	pf    bool
@@ -119,9 +138,9 @@ func (h *Hierarchy) fire(e *event) {
 	case evMiss:
 		e.miss(h.now)
 	case evLLCAccess:
-		h.llcAccess(e.line, e.rk)
+		h.llcAccess(int(e.req), e.line, e.rk)
 	case evFillL1:
-		h.fillL1(e.line, e.rk, false)
+		h.fillL1(int(e.req), e.line, e.rk, false)
 	case evFillLLC:
 		h.fillLLC(e.line, e.pf)
 	}
@@ -206,26 +225,108 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Hierarchy is the assembled memory system.
-type Hierarchy struct {
-	cfg Config
+// ReqStats are one requestor's statistics: its private L1 traffic plus its
+// share of the shared-LLC and DRAM demand. In a single-requestor hierarchy
+// requestor 0's ReqStats mirror the aggregate fields on Hierarchy.
+type ReqStats struct {
+	Loads, Stores, Fetches uint64
+	LLCDemandAccesses      uint64
+	LLCDemandMisses        uint64
+	DRAMReadsDemand        uint64
+	DRAMReadsPrefetch      uint64
+	DRAMWrites             uint64
+	// LLCArbGrants counts this requestor's accesses granted by the shared-LLC
+	// arbiter; LLCArbWaitCycles sums the cycles those accesses queued past
+	// their L1→LLC transit, i.e. pure port contention. Both stay zero in a
+	// single-requestor hierarchy (no arbitration on that path).
+	LLCArbGrants      uint64
+	LLCArbWaitCycles  uint64
+}
 
-	l1i, l1d, llc             *cache.Cache
-	l1iMSHR, l1dMSHR, llcMSHR *cache.MSHRFile
-	mem                       *dram.Controller
-	pf                        prefetch.Engine
+// front is one requestor's private L1 level: instruction and data caches,
+// their MSHR files, the cached fill callbacks, per-requestor statistics, and
+// the host's observability hook.
+type front struct {
+	l1i, l1d         *cache.Cache
+	l1iMSHR, l1dMSHR *cache.MSHRFile
+
+	// fillL1Data/fillL1Instr are the LLC-MSHR waiters attachL1Fill installs,
+	// cached once per front so no closure is allocated per LLC miss (the
+	// Outcome carries the line). Rebuilt by the constructor, never
+	// snapshotted.
+	fillL1Data  func(Outcome)
+	fillL1Instr func(Outcome)
+
+	// onLLCMiss, when non-nil, is invoked on every LLC demand miss from this
+	// requestor, at miss discovery (before MSHR allocation). Host hook; the
+	// restoring host attaches its own.
+	onLLCMiss func(now int64, line uint64, instr bool)
+
+	st ReqStats
+}
+
+// arbEntry is one L1 miss queued at the shared-LLC arbiter. readyAt is the
+// cycle the access completes its L1→LLC transit (enqueue + L1Latency);
+// arbitration delay beyond readyAt is port contention, counted in
+// LLCArbWaitCycles.
+type arbEntry struct {
+	line    uint64
+	rk      reqKind
+	readyAt int64
+}
+
+// llcArb is the shared-LLC input arbiter: one FIFO per requestor, drained
+// round-robin up to LLCPorts grants per cycle. The grant order depends only
+// on queue contents and the rotating pointer — never on map iteration or
+// host scheduling — so multi-core interleavings are deterministic. Only the
+// rotating pointer is snapshotted: the queues drain empty before a snapshot
+// (Drained requires pending == 0).
+type llcArb struct {
+	q       [][]arbEntry
+	head    []int
+	next    int
+	pending int
+}
+
+func (a *llcArb) push(r int, e arbEntry) {
+	a.q[r] = append(a.q[r], e)
+	a.pending++
+}
+
+func (a *llcArb) peek(r int) (arbEntry, bool) {
+	if a.head[r] >= len(a.q[r]) {
+		return arbEntry{}, false
+	}
+	return a.q[r][a.head[r]], true
+}
+
+func (a *llcArb) pop(r int) arbEntry {
+	e := a.q[r][a.head[r]]
+	a.head[r]++
+	a.pending--
+	if a.head[r] == len(a.q[r]) {
+		a.q[r], a.head[r] = a.q[r][:0], 0
+	}
+	return e
+}
+
+// Hierarchy is the assembled memory system: N private L1 front ends over one
+// shared LLC and DRAM controller (N == 1 for the single-core machine).
+type Hierarchy struct {
+	cfg  Config
+	fr   []front
+	arb  llcArb
+
+	llc     *cache.Cache
+	llcMSHR *cache.MSHRFile
+	mem     *dram.Controller
+	pf      prefetch.Engine
 
 	events   eventHeap
 	seq      uint64
 	now      int64
 	dramWait reqRing       // overflow when the 64-entry memory queue is full
 	llcRetry []func() bool // demand misses waiting for a free LLC MSHR
-
-	// fillL1Data/fillL1Instr are the LLC-MSHR waiters attachL1Fill installs,
-	// cached once here so no closure is allocated per LLC miss (the Outcome
-	// carries the line).
-	fillL1Data  func(Outcome) //simlint:nosnapshot closure rebuilt by the constructor
-	fillL1Instr func(Outcome) //simlint:nosnapshot closure rebuilt by the constructor
 
 	// reqPool recycles dram.Request values: the controller hands each
 	// request back through its Release hook after the completion callback
@@ -236,6 +337,13 @@ type Hierarchy struct {
 	demandDone   func(r *dram.Request, cy int64) //simlint:nosnapshot method value rebuilt by the constructor
 	prefetchDone func(r *dram.Request, cy int64) //simlint:nosnapshot method value rebuilt by the constructor
 
+	// onGrant holds per-requestor DRAM-grant hooks; grantHooks counts the
+	// non-nil ones so the controller-side dispatcher is installed only while
+	// a consumer exists.
+	//simlint:nosnapshot host hooks; the restoring host attaches its own
+	onGrant    []func(now int64, line uint64, write, rowHit bool)
+	grantHooks int //simlint:nosnapshot derived hook count, host-side only
+
 	// lateEvents counts events that fired after their scheduled cycle. In a
 	// correctly driven hierarchy this never happens — Tick runs at every
 	// cycle the event horizon names — so a nonzero count means the clock
@@ -243,14 +351,8 @@ type Hierarchy struct {
 	//simlint:nosnapshot sanitizer tripwire; zero in any hierarchy healthy enough to snapshot
 	lateEvents uint64
 
-	// OnLLCMiss, when non-nil, is invoked on every LLC demand miss (the
-	// observability layer's cache-miss event hook). It fires at miss
-	// discovery, before MSHR allocation, so the consumer sees misses that
-	// merge or wait for structural resources too.
-	//simlint:nosnapshot host hook; the restoring host attaches its own
-	OnLLCMiss func(now int64, line uint64, instr bool)
-
-	// Statistics.
+	// Aggregate statistics, summed across requestors (the single-core API;
+	// per-requestor splits live in ReqStats).
 	Loads, Stores, Fetches uint64
 	LLCDemandAccesses      uint64
 	LLCDemandMisses        uint64
@@ -259,22 +361,41 @@ type Hierarchy struct {
 	DRAMWrites             uint64
 }
 
-// New assembles an idle hierarchy.
-func New(cfg Config) *Hierarchy {
+// New assembles an idle single-requestor hierarchy.
+func New(cfg Config) *Hierarchy { return NewShared(cfg, 1) }
+
+// NewShared assembles an idle hierarchy with n private L1 front ends sharing
+// the LLC, the prefetcher, and the DRAM controller.
+func NewShared(cfg Config, n int) *Hierarchy {
+	if n < 1 {
+		panic("memsys: a hierarchy needs at least one requestor")
+	}
+	if cfg.LLCPorts <= 0 {
+		cfg.LLCPorts = 2
+	}
 	h := &Hierarchy{
 		cfg:     cfg,
-		l1i:     cache.New(cfg.L1I),
-		l1d:     cache.New(cfg.L1D),
+		fr:      make([]front, n),
 		llc:     cache.New(cfg.LLC),
-		l1iMSHR: cache.NewMSHRFile(cfg.L1IMSHRs),
-		l1dMSHR: cache.NewMSHRFile(cfg.L1DMSHRs),
 		llcMSHR: cache.NewMSHRFile(cfg.LLCMSHRs),
 		mem:     dram.New(cfg.DRAM),
+		onGrant: make([]func(int64, uint64, bool, bool), n),
 	}
-	// Shared completion callbacks and the request free pool: one closure per
-	// hierarchy instead of one per miss.
-	h.fillL1Data = func(o Outcome) { h.fillL1(o.Line, kindData, true) }
-	h.fillL1Instr = func(o Outcome) { h.fillL1(o.Line, kindInstr, true) }
+	h.arb.q = make([][]arbEntry, n)
+	h.arb.head = make([]int, n)
+	h.mem.EnsureRequestors(n)
+	for i := range h.fr {
+		f := &h.fr[i]
+		f.l1i = cache.New(cfg.L1I)
+		f.l1d = cache.New(cfg.L1D)
+		f.l1iMSHR = cache.NewMSHRFile(cfg.L1IMSHRs)
+		f.l1dMSHR = cache.NewMSHRFile(cfg.L1DMSHRs)
+		// Shared completion callbacks: one closure pair per front instead of
+		// one per miss.
+		req := i
+		f.fillL1Data = func(o Outcome) { h.fillL1(req, o.Line, kindData, true) }
+		f.fillL1Instr = func(o Outcome) { h.fillL1(req, o.Line, kindInstr, true) }
+	}
 	h.demandDone = func(r *dram.Request, cy int64) {
 		h.scheduleEv(cy, event{kind: evFillLLC, line: r.LineAddr, pf: false})
 	}
@@ -305,20 +426,59 @@ func New(cfg Config) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// Requestors returns the number of private L1 front ends.
+func (h *Hierarchy) Requestors() int { return len(h.fr) }
+
 // DRAM exposes the memory controller (for statistics).
 func (h *Hierarchy) DRAM() *dram.Controller { return h.mem }
 
 // Prefetcher exposes the prefetch engine, nil when disabled.
 func (h *Hierarchy) Prefetcher() prefetch.Engine { return h.pf }
 
-// L1D exposes the L1 data cache (for statistics).
-func (h *Hierarchy) L1D() *cache.Cache { return h.l1d }
+// L1D exposes requestor 0's L1 data cache; L1DR addresses any requestor.
+func (h *Hierarchy) L1D() *cache.Cache           { return h.fr[0].l1d }
+func (h *Hierarchy) L1DR(req int) *cache.Cache   { return h.fr[req].l1d }
 
-// L1I exposes the L1 instruction cache (for statistics).
-func (h *Hierarchy) L1I() *cache.Cache { return h.l1i }
+// L1I exposes requestor 0's L1 instruction cache; L1IR addresses any
+// requestor.
+func (h *Hierarchy) L1I() *cache.Cache         { return h.fr[0].l1i }
+func (h *Hierarchy) L1IR(req int) *cache.Cache { return h.fr[req].l1i }
 
-// LLC exposes the last-level cache (for statistics).
+// LLC exposes the shared last-level cache (for statistics).
 func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// Req returns requestor req's statistics.
+func (h *Hierarchy) Req(req int) *ReqStats { return &h.fr[req].st }
+
+// SetLLCMissHook installs (or, with nil, removes) requestor req's LLC
+// demand-miss hook: invoked at miss discovery, before MSHR allocation, so
+// the consumer sees misses that merge or wait for structural resources too.
+func (h *Hierarchy) SetLLCMissHook(req int, fn func(now int64, line uint64, instr bool)) {
+	h.fr[req].onLLCMiss = fn
+}
+
+// SetGrantHook installs (or, with nil, removes) requestor req's DRAM-grant
+// hook. The controller-side dispatcher exists only while at least one hook
+// does, so hierarchies with no observers pay nothing per grant.
+func (h *Hierarchy) SetGrantHook(req int, fn func(now int64, line uint64, write, rowHit bool)) {
+	if (h.onGrant[req] == nil) != (fn == nil) {
+		if fn == nil {
+			h.grantHooks--
+		} else {
+			h.grantHooks++
+		}
+	}
+	h.onGrant[req] = fn
+	if h.grantHooks == 0 {
+		h.mem.OnGrant = nil
+		return
+	}
+	h.mem.OnGrant = func(now int64, r *dram.Request, rowHit bool) {
+		if g := h.onGrant[r.Req]; g != nil {
+			g(now, r.LineAddr, r.Write, rowHit)
+		}
+	}
+}
 
 // TotalDRAMRequests returns all granted DRAM requests (demand + prefetch +
 // writeback), the quantity Figure 16 normalizes.
@@ -326,14 +486,27 @@ func (h *Hierarchy) TotalDRAMRequests() uint64 {
 	return h.DRAMReadsDemand + h.DRAMReadsPrefetch + h.DRAMWrites
 }
 
-// OutstandingDataMisses returns the number of in-flight L1D misses.
-func (h *Hierarchy) OutstandingDataMisses() int { return h.l1dMSHR.Outstanding() }
-
-// MSHRFiles returns the three MSHR files (instruction, data, LLC) so the
-// self-profiling exporter can read their pool counters.
-func (h *Hierarchy) MSHRFiles() (l1i, l1d, llc *cache.MSHRFile) {
-	return h.l1iMSHR, h.l1dMSHR, h.llcMSHR
+// OutstandingDataMisses returns requestor 0's in-flight L1D misses;
+// OutstandingDataMissesR addresses any requestor.
+func (h *Hierarchy) OutstandingDataMisses() int { return h.fr[0].l1dMSHR.Outstanding() }
+func (h *Hierarchy) OutstandingDataMissesR(req int) int {
+	return h.fr[req].l1dMSHR.Outstanding()
 }
+
+// MSHRFiles returns requestor 0's MSHR files plus the shared LLC file, so
+// the self-profiling exporter can read their pool counters. MSHRFilesR
+// addresses any requestor's private files.
+func (h *Hierarchy) MSHRFiles() (l1i, l1d, llc *cache.MSHRFile) {
+	return h.fr[0].l1iMSHR, h.fr[0].l1dMSHR, h.llcMSHR
+}
+
+// MSHRFilesR returns requestor req's private L1 MSHR files.
+func (h *Hierarchy) MSHRFilesR(req int) (l1i, l1d *cache.MSHRFile) {
+	return h.fr[req].l1iMSHR, h.fr[req].l1dMSHR
+}
+
+// LLCMSHRFile returns the shared LLC MSHR file.
+func (h *Hierarchy) LLCMSHRFile() *cache.MSHRFile { return h.llcMSHR }
 
 // scheduleEv enqueues ev to fire at cycle (clamped to at least the next
 // cycle, like every hierarchy hop).
@@ -348,7 +521,7 @@ func (h *Hierarchy) scheduleEv(cycle int64, ev event) {
 
 // newReq returns a request from the free pool (or a fresh one), stamped with
 // the given fields.
-func (h *Hierarchy) newReq(line uint64, write bool) *dram.Request {
+func (h *Hierarchy) newReq(req int, line uint64, write bool) *dram.Request {
 	var r *dram.Request
 	if n := len(h.reqPool); n > 0 {
 		r = h.reqPool[n-1]
@@ -357,12 +530,13 @@ func (h *Hierarchy) newReq(line uint64, write bool) *dram.Request {
 	} else {
 		r = &dram.Request{}
 	}
-	r.LineAddr, r.Write, r.Arrival = line, write, h.now
+	r.LineAddr, r.Write, r.Arrival, r.Req = line, write, h.now, req
 	return r
 }
 
 // Tick advances the hierarchy to cycle now, firing due events, retrying
-// back-pressured requests, and granting DRAM requests.
+// back-pressured requests, granting DRAM requests, and — in shared
+// hierarchies — running the LLC arbiter.
 func (h *Hierarchy) Tick(now int64) {
 	h.now = now
 	// Retry demand misses blocked on a full LLC MSHR file.
@@ -383,6 +557,9 @@ func (h *Hierarchy) Tick(now int64) {
 		h.dramWait.pop()
 	}
 	h.mem.Tick(now)
+	if h.arb.pending > 0 {
+		h.arbGrant(now)
+	}
 	for len(h.events) > 0 && h.events[0].cycle <= now {
 		e := h.events.pop()
 		if e.cycle < now {
@@ -392,13 +569,85 @@ func (h *Hierarchy) Tick(now int64) {
 	}
 }
 
+// arbGrant runs one cycle of shared-LLC arbitration: up to LLCPorts accesses
+// whose L1→LLC transit has completed are granted, round-robin starting at
+// the rotating pointer, which advances past each granted requestor so no
+// stream can monopolize the ports.
+func (h *Hierarchy) arbGrant(now int64) {
+	n := len(h.fr)
+	for granted := 0; granted < h.cfg.LLCPorts; granted++ {
+		r := -1
+		for i := 0; i < n; i++ {
+			cand := (h.arb.next + i) % n
+			if e, ok := h.arb.peek(cand); ok && e.readyAt <= now {
+				r = cand
+				break
+			}
+		}
+		if r < 0 {
+			return
+		}
+		e := h.arb.pop(r)
+		h.arb.next = (r + 1) % n
+		st := &h.fr[r].st
+		st.LLCArbGrants++
+		st.LLCArbWaitCycles += uint64(now - e.readyAt)
+		h.llcAccess(r, e.line, e.rk)
+	}
+}
+
+// reqShift positions each requestor's private physical region in the shared
+// LLC/DRAM domain: core i's local line L crosses the boundary as
+// L | i<<reqShift — 1 TB apart, far above any kernel's footprint. The
+// kernels are independent programs whose virtual ranges overlap, so without
+// the offset a multi-programmed mix would falsely share LLC lines (one
+// core's fill servicing another's miss), corrupting the contention study.
+// Requestor 0's region starts at 0, so a single-requestor hierarchy sees
+// unchanged addresses — the bit-identity the equivalence gate pins.
+const reqShift = 40
+
+func reqBase(req int) uint64 { return uint64(req) << reqShift }
+
+// sendLLC routes an L1 miss toward the shared LLC, translating the
+// requestor-local line into its private region of the shared physical
+// space. Single-requestor hierarchies schedule the access directly at
+// L1Latency — the original unarbitrated path, preserved bit-for-bit. Shared
+// hierarchies queue it at the arbiter with the same transit latency.
+func (h *Hierarchy) sendLLC(req int, now int64, line uint64, rk reqKind) {
+	line |= reqBase(req)
+	if len(h.fr) == 1 {
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: rk})
+		return
+	}
+	h.arb.push(req, arbEntry{line: line, rk: rk, readyAt: now + int64(h.cfg.L1Latency)})
+}
+
+// arbNext returns the earliest cycle the arbiter could grant: now+1 while a
+// transit-complete entry waits on ports, else the earliest head transit
+// completion. Never when every queue is empty.
+func (h *Hierarchy) arbNext() int64 {
+	next := Never
+	for r := range h.fr {
+		if e, ok := h.arb.peek(r); ok {
+			if e.readyAt <= h.now {
+				return h.now + 1
+			}
+			if e.readyAt < next {
+				next = e.readyAt
+			}
+		}
+	}
+	return next
+}
+
 // NextEvent returns the next cycle at which the hierarchy has work to do:
 // the minimum of the event-heap top, the DRAM controller's grant horizon,
-// and — while any retry backlog exists — the very next cycle (back-pressured
-// work is retried every Tick). It returns Never when the hierarchy is fully
-// idle. The value is a safe lower bound: ticking earlier than it is a no-op,
-// ticking every cycle up to it is exactly the per-cycle reference behavior,
-// and no event, retry, or grant can occur strictly before it.
+// the LLC arbiter's next grant, and — while any retry backlog exists — the
+// very next cycle (back-pressured work is retried every Tick). It returns
+// Never when the hierarchy is fully idle. The value is a safe lower bound:
+// ticking earlier than it is a no-op, ticking every cycle up to it is
+// exactly the per-cycle reference behavior, and no event, retry, grant, or
+// arbitration can occur strictly before it.
 func (h *Hierarchy) NextEvent() int64 {
 	if len(h.llcRetry) > 0 || h.dramWait.len() > 0 {
 		return h.now + 1
@@ -410,10 +659,15 @@ func (h *Hierarchy) NextEvent() int64 {
 	if nr := h.mem.NextReady(h.now); nr < next {
 		next = nr
 	}
+	if h.arb.pending > 0 {
+		if an := h.arbNext(); an < next {
+			next = an
+		}
+	}
 	return next
 }
 
-// Load issues a data read at cycle now.
+// Load issues requestor 0's data read; LoadR addresses any requestor.
 //
 // onMiss (optional) fires as soon as the access is known to be DRAM-bound —
 // the signal that lets a blocked ROB head trigger runahead without waiting
@@ -425,31 +679,40 @@ func (h *Hierarchy) NextEvent() int64 {
 //
 // Load reports false when the L1D MSHR file is full and the access must be
 // retried.
-//
+func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64), done func(Outcome)) bool {
+	return h.LoadR(0, now, addr, noWait, onMiss, done)
+}
+
 // LoadHit is the allocation-free fast path for the common L1D-hit case: if
 // addr hits, it counts the access exactly as Load's hit path would (Loads,
 // the cache's hit statistic and LRU refresh) and reports true, leaving the
 // completion timing — L1Latency cycles, like every hierarchy hop — to the
 // caller, which can schedule a typed event of its own instead of threading a
 // callback through the hierarchy. On a miss nothing is counted or disturbed
-// and the caller falls back to Load.
-func (h *Hierarchy) LoadHit(addr uint64) bool {
-	if !h.l1d.Probe(addr) {
+// and the caller falls back to Load. LoadHitR addresses any requestor.
+func (h *Hierarchy) LoadHit(addr uint64) bool { return h.LoadHitR(0, addr) }
+
+func (h *Hierarchy) LoadHitR(req int, addr uint64) bool {
+	f := &h.fr[req]
+	if !f.l1d.Probe(addr) {
 		return false
 	}
 	h.Loads++
-	h.l1d.Lookup(addr)
+	f.st.Loads++
+	f.l1d.Lookup(addr)
 	return true
 }
 
-func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64), done func(Outcome)) bool {
+func (h *Hierarchy) LoadR(req int, now int64, addr uint64, noWait bool, onMiss func(int64), done func(Outcome)) bool {
+	f := &h.fr[req]
 	h.Loads++
-	if hit, _ := h.l1d.Lookup(addr); hit {
-		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1d.LineAddr(addr), done: done})
+	f.st.Loads++
+	if hit, _ := f.l1d.Lookup(addr); hit {
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: f.l1d.LineAddr(addr), done: done})
 		return true
 	}
-	line := h.l1d.LineAddr(addr)
-	if m, ok := h.l1dMSHR.Lookup(line); ok {
+	line := f.l1d.LineAddr(addr)
+	if m, ok := f.l1dMSHR.Lookup(line); ok {
 		if onMiss != nil {
 			if m.FillFromMem {
 				h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evMiss, miss: onMiss})
@@ -460,17 +723,17 @@ func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64)
 		if noWait {
 			// The line is already in flight; runahead treats it as a miss in
 			// progress and moves on without waiting.
-			h.l1dMSHR.Merge(m, true, cache.Waiter{})
+			f.l1dMSHR.Merge(m, true, cache.Waiter{})
 			h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelMem, done: done})
 			return true
 		}
-		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
+		f.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
 		return true
 	}
-	if h.l1dMSHR.FullNow() {
+	if f.l1dMSHR.FullNow() {
 		return false
 	}
-	m := h.l1dMSHR.Allocate(line, false)
+	m := f.l1dMSHR.Allocate(line, false)
 	if onMiss != nil {
 		m.EarlyMiss = append(m.EarlyMiss, onMiss)
 	}
@@ -485,57 +748,69 @@ func (h *Hierarchy) Load(now int64, addr uint64, noWait bool, onMiss func(int64)
 		// Early notification when the LLC lookup resolves as a miss; if the
 		// LLC hits instead, the normal fill path completes quickly.
 		m.EarlyMiss = append(m.EarlyMiss, func(cy int64) { fire(Outcome{When: cy, Level: LevelMem, Line: line}) })
-		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: fire})
+		f.l1dMSHR.Merge(m, true, cache.Waiter{Done: fire})
 	} else {
-		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
+		f.l1dMSHR.Merge(m, true, cache.Waiter{Done: done})
 	}
-	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindData})
+	h.sendLLC(req, now, line, kindData)
 	return true
 }
 
-// Store issues a data write at cycle now (write-allocate, write-back). The
-// callback fires when the line is writable in the L1D. Store reports false
-// when the L1D MSHR file is full.
+// Store issues requestor 0's data write (write-allocate, write-back); StoreR
+// addresses any requestor. The callback fires when the line is writable in
+// the L1D. Store reports false when the L1D MSHR file is full.
 func (h *Hierarchy) Store(now int64, addr uint64, done func(Outcome)) bool {
+	return h.StoreR(0, now, addr, done)
+}
+
+func (h *Hierarchy) StoreR(req int, now int64, addr uint64, done func(Outcome)) bool {
+	f := &h.fr[req]
 	h.Stores++
-	if hit, _ := h.l1d.Lookup(addr); hit {
-		h.l1d.MarkDirty(addr)
-		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1d.LineAddr(addr), done: done})
+	f.st.Stores++
+	if hit, _ := f.l1d.Lookup(addr); hit {
+		f.l1d.MarkDirty(addr)
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: f.l1d.LineAddr(addr), done: done})
 		return true
 	}
-	line := h.l1d.LineAddr(addr)
-	if m, ok := h.l1dMSHR.Lookup(line); ok {
-		h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
+	line := f.l1d.LineAddr(addr)
+	if m, ok := f.l1dMSHR.Lookup(line); ok {
+		f.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
 		return true
 	}
-	if h.l1dMSHR.FullNow() {
+	if f.l1dMSHR.FullNow() {
 		return false
 	}
-	m := h.l1dMSHR.Allocate(line, false)
-	h.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
-	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindData})
+	m := f.l1dMSHR.Allocate(line, false)
+	f.l1dMSHR.Merge(m, true, cache.Waiter{Done: done, MarkDirty: true})
+	h.sendLLC(req, now, line, kindData)
 	return true
 }
 
-// Fetch issues an instruction read at cycle now. It reports false when the
-// L1I MSHR file is full.
+// Fetch issues requestor 0's instruction read; FetchR addresses any
+// requestor. It reports false when the L1I MSHR file is full.
 func (h *Hierarchy) Fetch(now int64, addr uint64, done func(Outcome)) bool {
+	return h.FetchR(0, now, addr, done)
+}
+
+func (h *Hierarchy) FetchR(req int, now int64, addr uint64, done func(Outcome)) bool {
+	f := &h.fr[req]
 	h.Fetches++
-	if hit, _ := h.l1i.Lookup(addr); hit {
-		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: h.l1i.LineAddr(addr), done: done})
+	f.st.Fetches++
+	if hit, _ := f.l1i.Lookup(addr); hit {
+		h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evDone, lvl: LevelL1, line: f.l1i.LineAddr(addr), done: done})
 		return true
 	}
-	line := h.l1i.LineAddr(addr)
-	if m, ok := h.l1iMSHR.Lookup(line); ok {
-		h.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
+	line := f.l1i.LineAddr(addr)
+	if m, ok := f.l1iMSHR.Lookup(line); ok {
+		f.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
 		return true
 	}
-	if h.l1iMSHR.FullNow() {
+	if f.l1iMSHR.FullNow() {
 		return false
 	}
-	m := h.l1iMSHR.Allocate(line, false)
-	h.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
-	h.scheduleEv(now+int64(h.cfg.L1Latency), event{kind: evLLCAccess, line: line, rk: kindInstr})
+	m := f.l1iMSHR.Allocate(line, false)
+	f.l1iMSHR.Merge(m, true, cache.Waiter{Done: done})
+	h.sendLLC(req, now, line, kindInstr)
 	return true
 }
 
@@ -547,71 +822,89 @@ func fillLevel(m *cache.MSHR) Level {
 }
 
 // llcAccess handles an L1-level miss (or a prefetch probe) arriving at the
-// LLC.
-func (h *Hierarchy) llcAccess(line uint64, kind reqKind) {
+// shared LLC on behalf of requestor req.
+func (h *Hierarchy) llcAccess(req int, line uint64, kind reqKind) {
+	f := &h.fr[req]
 	demand := kind != kindPrefetch
 	hit, wasPf := h.llc.Lookup(line)
 	if demand {
 		h.LLCDemandAccesses++
+		f.st.LLCDemandAccesses++
 		if !hit {
 			h.LLCDemandMisses++
-			if h.OnLLCMiss != nil {
-				h.OnLLCMiss(h.now, line, kind == kindInstr)
+			f.st.LLCDemandMisses++
+			if f.onLLCMiss != nil {
+				f.onLLCMiss(h.now, line, kind == kindInstr)
 			}
 		}
 		if h.pf != nil {
 			for _, pa := range h.pf.Train(line, hit, wasPf) {
-				h.issuePrefetch(pa)
+				h.issuePrefetch(req, pa)
 			}
 		}
 	}
 	if hit {
-		h.scheduleEv(h.now+int64(h.cfg.LLCLatency), event{kind: evFillL1, line: line, rk: kind})
+		h.scheduleEv(h.now+int64(h.cfg.LLCLatency), event{kind: evFillL1, line: line, req: int32(req), rk: kind})
 		return
 	}
 	// LLC miss: the requester learns it is DRAM-bound now, even if the miss
 	// has to wait for an MSHR or queue slot (runahead must be able to poison
 	// and move past it immediately).
-	h.noteEarlyMiss(line, kind)
+	h.noteEarlyMiss(req, line, kind)
 	if m, ok := h.llcMSHR.Lookup(line); ok {
 		if demand && m.Prefetch && h.pf != nil {
 			h.pf.NoteLatePrefetch()
 		}
 		h.llcMSHR.Merge(m, demand, cache.Waiter{})
-		h.attachL1Fill(m, line, kind)
+		h.attachL1Fill(req, m, kind)
 		return
 	}
-	if !h.tryLLCMiss(line, kind) {
+	if !h.tryLLCMiss(req, line, kind) {
 		// Only the back-pressured path pays for a closure; the common case
 		// (an MSHR is free) allocates nothing here.
-		h.llcRetry = append(h.llcRetry, func() bool { return h.tryLLCMiss(line, kind) })
+		h.llcRetry = append(h.llcRetry, func() bool { return h.tryLLCMiss(req, line, kind) })
 	}
 }
 
 // tryLLCMiss allocates the LLC MSHR for a demand miss and sends the fill to
 // DRAM. It reports false when the MSHR file is full and the miss must be
 // retried next Tick.
-func (h *Hierarchy) tryLLCMiss(line uint64, kind reqKind) bool {
+func (h *Hierarchy) tryLLCMiss(req int, line uint64, kind reqKind) bool {
+	if m, ok := h.llcMSHR.Lookup(line); ok {
+		// While this miss sat in the retry backlog, another access to the
+		// same line (an instruction and a data miss can share one) got its
+		// MSHR; join the in-flight fill instead of double-allocating.
+		if kind != kindPrefetch && m.Prefetch && h.pf != nil {
+			h.pf.NoteLatePrefetch()
+		}
+		h.llcMSHR.Merge(m, kind != kindPrefetch, cache.Waiter{})
+		h.attachL1Fill(req, m, kind)
+		return true
+	}
 	if h.llcMSHR.FullNow() {
 		return false
 	}
 	m := h.llcMSHR.Allocate(line, false)
+	m.Req = req
 	m.FillFromMem = true
-	h.attachL1Fill(m, line, kind)
+	h.attachL1Fill(req, m, kind)
 	h.DRAMReadsDemand++
-	r := h.newReq(line, false)
+	h.fr[req].st.DRAMReadsDemand++
+	r := h.newReq(req, line, false)
 	r.DoneR = h.demandDone
 	h.enqueueDRAM(r)
 	return true
 }
 
 // noteEarlyMiss delivers runahead early-miss notifications for data misses
-// that are now known to be DRAM-bound.
-func (h *Hierarchy) noteEarlyMiss(line uint64, kind reqKind) {
+// that are now known to be DRAM-bound. line arrives in the shared domain
+// and is mapped back to the requestor's local space for the L1 MSHR lookup.
+func (h *Hierarchy) noteEarlyMiss(req int, line uint64, kind reqKind) {
 	if kind != kindData {
 		return
 	}
-	if m, ok := h.l1dMSHR.Lookup(line); ok {
+	line &^= reqBase(req)
+	if m, ok := h.fr[req].l1dMSHR.Lookup(line); ok {
 		m.FillFromMem = true
 		for _, f := range m.EarlyMiss {
 			f(h.now)
@@ -620,57 +913,63 @@ func (h *Hierarchy) noteEarlyMiss(line uint64, kind reqKind) {
 	}
 }
 
-// attachL1Fill arranges for the L1 fill when the LLC-level MSHR completes.
-// The waiters are the two fill functions cached on the Hierarchy at
+// attachL1Fill arranges for requestor req's L1 fill when the LLC-level MSHR
+// completes. The waiters are the fill functions cached on the front at
 // construction (the fill loop hands them the line via the Outcome), so no
 // closure is allocated per LLC miss. A prefetch probe attaches no waiter —
 // the LLC fill itself is the whole effect — but still merges so the
 // demand-conversion bookkeeping runs.
-func (h *Hierarchy) attachL1Fill(m *cache.MSHR, line uint64, kind reqKind) {
+func (h *Hierarchy) attachL1Fill(req int, m *cache.MSHR, kind reqKind) {
 	var w cache.Waiter
 	switch kind {
 	case kindData:
-		w.Done = h.fillL1Data
+		w.Done = h.fr[req].fillL1Data
 	case kindInstr:
-		w.Done = h.fillL1Instr
+		w.Done = h.fr[req].fillL1Instr
 	}
 	h.llcMSHR.Merge(m, kind != kindPrefetch, w)
 }
 
-// fillL1 delivers a line into the appropriate L1 and completes its MSHR.
-// fromMem marks fills whose data came from DRAM.
-func (h *Hierarchy) fillL1(line uint64, kind reqKind, fromMem bool) {
+// fillL1 delivers a line into requestor req's appropriate L1 and completes
+// its MSHR. fromMem marks fills whose data came from DRAM. Every caller —
+// the LLC-hit fill event and the LLC MSHR completion waiters — carries the
+// shared-domain line, mapped back to the requestor's local space here;
+// outcomes delivered to the core use the local line, matching the L1-hit
+// paths.
+func (h *Hierarchy) fillL1(req int, line uint64, kind reqKind, fromMem bool) {
+	f := &h.fr[req]
+	line &^= reqBase(req)
 	switch kind {
 	case kindData:
-		if _, ok := h.l1dMSHR.Lookup(line); !ok {
+		if _, ok := f.l1dMSHR.Lookup(line); !ok {
 			return // e.g. duplicate fill after an inclusion invalidation
 		}
-		v := h.l1d.Insert(line, false)
+		v := f.l1d.Insert(line, false)
 		if v.Valid && v.Dirty {
 			// Write back into the (inclusive) LLC; if it lost the line,
 			// forward to memory.
-			if !h.llc.MarkDirty(v.Addr) {
-				h.writeDRAM(v.Addr)
+			if !h.llc.MarkDirty(v.Addr | reqBase(req)) {
+				h.writeDRAM(req, v.Addr|reqBase(req))
 			}
 		}
-		m := h.l1dMSHR.Complete(line)
+		m := f.l1dMSHR.Complete(line)
 		if fromMem {
 			m.FillFromMem = true
 		}
 		o := Outcome{When: h.now, Level: fillLevel(m), Line: line}
 		for _, w := range m.Waiters {
 			if w.MarkDirty {
-				h.l1d.MarkDirty(line)
+				f.l1d.MarkDirty(line)
 			}
 			w.Done(o)
 		}
-		h.l1dMSHR.Recycle(m)
+		f.l1dMSHR.Recycle(m)
 	case kindInstr:
-		if _, ok := h.l1iMSHR.Lookup(line); !ok {
+		if _, ok := f.l1iMSHR.Lookup(line); !ok {
 			return
 		}
-		h.l1i.Insert(line, false)
-		m := h.l1iMSHR.Complete(line)
+		f.l1i.Insert(line, false)
+		m := f.l1iMSHR.Complete(line)
 		if fromMem {
 			m.FillFromMem = true
 		}
@@ -678,7 +977,7 @@ func (h *Hierarchy) fillL1(line uint64, kind reqKind, fromMem bool) {
 		for _, w := range m.Waiters {
 			w.Done(o)
 		}
-		h.l1iMSHR.Recycle(m)
+		f.l1iMSHR.Recycle(m)
 	}
 }
 
@@ -692,14 +991,19 @@ func (h *Hierarchy) fillLLC(line uint64, prefetched bool) {
 	pfBit := prefetched && m.Prefetch
 	v := h.llc.Insert(line, pfBit)
 	if v.Valid {
-		// Inclusion: drop L1 copies, folding their dirtiness into the victim.
+		// Inclusion: drop the L1 copies, folding their dirtiness into the
+		// victim. The victim's region names its owner — no other
+		// requestor's L1 can hold it.
 		dirty := v.Dirty
-		if _, d := h.l1d.Invalidate(v.Addr); d {
-			dirty = true
+		if owner := int(v.Addr >> reqShift); owner < len(h.fr) {
+			local := v.Addr &^ reqBase(owner)
+			if _, d := h.fr[owner].l1d.Invalidate(local); d {
+				dirty = true
+			}
+			h.fr[owner].l1i.Invalidate(local)
 		}
-		h.l1i.Invalidate(v.Addr)
 		if dirty {
-			h.writeDRAM(v.Addr)
+			h.writeDRAM(m.Req, v.Addr)
 		}
 		if pfBit && h.pf != nil {
 			h.pf.NotePrefetchEviction(v.Addr)
@@ -712,9 +1016,10 @@ func (h *Hierarchy) fillLLC(line uint64, prefetched bool) {
 	h.llcMSHR.Recycle(m)
 }
 
-// issuePrefetch injects a prefetch for line addr into the LLC miss path.
-// Prefetches are droppable: full structures silently discard them.
-func (h *Hierarchy) issuePrefetch(addr uint64) {
+// issuePrefetch injects a prefetch for line addr into the LLC miss path,
+// attributed to the requestor whose access trained it. Prefetches are
+// droppable: full structures silently discard them.
+func (h *Hierarchy) issuePrefetch(req int, addr uint64) {
 	line := h.llc.LineAddr(addr)
 	if h.llc.Probe(line) {
 		return
@@ -725,16 +1030,19 @@ func (h *Hierarchy) issuePrefetch(addr uint64) {
 	if h.llcMSHR.FullNow() {
 		return
 	}
-	h.llcMSHR.Allocate(line, true)
+	m := h.llcMSHR.Allocate(line, true)
+	m.Req = req
 	h.DRAMReadsPrefetch++
-	r := h.newReq(line, false)
+	h.fr[req].st.DRAMReadsPrefetch++
+	r := h.newReq(req, line, false)
 	r.DoneR = h.prefetchDone
 	h.enqueueDRAM(r)
 }
 
-func (h *Hierarchy) writeDRAM(line uint64) {
+func (h *Hierarchy) writeDRAM(req int, line uint64) {
 	h.DRAMWrites++
-	h.enqueueDRAM(h.newReq(line, true))
+	h.fr[req].st.DRAMWrites++
+	h.enqueueDRAM(h.newReq(req, line, true))
 }
 
 func (h *Hierarchy) enqueueDRAM(r *dram.Request) {
@@ -744,26 +1052,39 @@ func (h *Hierarchy) enqueueDRAM(r *dram.Request) {
 }
 
 // Drained reports whether no activity is pending anywhere in the hierarchy
-// (for tests).
+// (for tests and snapshot gating).
 func (h *Hierarchy) Drained() bool {
-	return len(h.events) == 0 && h.dramWait.len() == 0 && len(h.llcRetry) == 0 &&
-		h.mem.Pending() == 0 && h.l1dMSHR.Outstanding() == 0 &&
-		h.l1iMSHR.Outstanding() == 0 && h.llcMSHR.Outstanding() == 0
+	if len(h.events) != 0 || h.dramWait.len() != 0 || len(h.llcRetry) != 0 ||
+		h.arb.pending != 0 || h.mem.Pending() != 0 || h.llcMSHR.Outstanding() != 0 {
+		return false
+	}
+	for i := range h.fr {
+		if h.fr[i].l1dMSHR.Outstanding() != 0 || h.fr[i].l1iMSHR.Outstanding() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// ResetStats zeroes all statistics counters while preserving cache, MSHR,
-// DRAM and prefetcher state — used by harnesses to exclude warmup from
-// measurements.
+// ResetStats zeroes all statistics counters (aggregate and per-requestor)
+// while preserving cache, MSHR, DRAM and prefetcher state — used by
+// harnesses to exclude warmup from measurements.
 func (h *Hierarchy) ResetStats() {
 	h.Loads, h.Stores, h.Fetches = 0, 0, 0
 	h.LLCDemandAccesses, h.LLCDemandMisses = 0, 0
 	h.DRAMReadsDemand, h.DRAMReadsPrefetch, h.DRAMWrites = 0, 0, 0
-	for _, c := range []*cache.Cache{h.l1i, h.l1d, h.llc} {
-		c.Hits, c.Misses, c.Evictions = 0, 0, 0
+	for i := range h.fr {
+		f := &h.fr[i]
+		f.st = ReqStats{}
+		for _, c := range []*cache.Cache{f.l1i, f.l1d} {
+			c.Hits, c.Misses, c.Evictions = 0, 0, 0
+		}
+		for _, mf := range []*cache.MSHRFile{f.l1iMSHR, f.l1dMSHR} {
+			mf.Allocs, mf.Merges, mf.Full = 0, 0, 0
+		}
 	}
-	for _, f := range []*cache.MSHRFile{h.l1iMSHR, h.l1dMSHR, h.llcMSHR} {
-		f.Allocs, f.Merges, f.Full = 0, 0, 0
-	}
+	h.llc.Hits, h.llc.Misses, h.llc.Evictions = 0, 0, 0
+	h.llcMSHR.Allocs, h.llcMSHR.Merges, h.llcMSHR.Full = 0, 0, 0
 	h.mem.ResetStats()
 	if h.pf != nil {
 		h.pf.ResetStats()

@@ -9,20 +9,44 @@ import (
 // SnapshotTo serializes the hierarchy. Scheduled events, MSHR waiters and
 // queued DRAM requests are closures and cannot be serialized, so the whole
 // hierarchy must be drained first (core.Drain runs the machine to such a
-// point). The prefetch engine kind is recorded and verified so a snapshot
-// taken with one engine cannot silently restore into another.
+// point). Layout: shared clock/seq, the requestor count, each front's L1
+// caches + MSHR files + per-requestor stats, then the shared LLC, LLC MSHRs,
+// DRAM, prefetcher, and aggregate stats. The prefetch engine kind is
+// recorded and verified so a snapshot taken with one engine cannot silently
+// restore into another.
 func (h *Hierarchy) SnapshotTo(w *snapshot.Writer) error {
 	w.Mark("memsys")
 	if !h.Drained() {
-		return fmt.Errorf("memsys: snapshotting an undrained hierarchy (events=%d dramWait=%d llcRetry=%d pending=%d mshrs=%d/%d/%d)",
-			len(h.events), h.dramWait.len(), len(h.llcRetry), h.mem.Pending(),
-			h.l1iMSHR.Outstanding(), h.l1dMSHR.Outstanding(), h.llcMSHR.Outstanding())
+		return fmt.Errorf("memsys: snapshotting an undrained hierarchy (events=%d dramWait=%d llcRetry=%d arb=%d pending=%d llcMSHRs=%d)",
+			len(h.events), h.dramWait.len(), len(h.llcRetry), h.arb.pending,
+			h.mem.Pending(), h.llcMSHR.Outstanding())
 	}
 	w.I64(h.now)
 	w.U64(h.seq)
+	w.Int(len(h.fr))
+	w.Int(h.arb.next)
+	for i := range h.fr {
+		f := &h.fr[i]
+		for _, c := range []interface {
+			SnapshotTo(*snapshot.Writer) error
+		}{f.l1i, f.l1d, f.l1iMSHR, f.l1dMSHR} {
+			if err := c.SnapshotTo(w); err != nil {
+				return err
+			}
+		}
+		st := &f.st
+		for _, v := range []uint64{
+			st.Loads, st.Stores, st.Fetches,
+			st.LLCDemandAccesses, st.LLCDemandMisses,
+			st.DRAMReadsDemand, st.DRAMReadsPrefetch, st.DRAMWrites,
+			st.LLCArbGrants, st.LLCArbWaitCycles,
+		} {
+			w.U64(v)
+		}
+	}
 	for _, c := range []interface {
 		SnapshotTo(*snapshot.Writer) error
-	}{h.l1i, h.l1d, h.llc, h.l1iMSHR, h.l1dMSHR, h.llcMSHR, h.mem} {
+	}{h.llc, h.llcMSHR, h.mem} {
 		if err := c.SnapshotTo(w); err != nil {
 			return err
 		}
@@ -58,7 +82,7 @@ func (h *Hierarchy) pfKind() uint8 {
 }
 
 // RestoreFrom reads state written by SnapshotTo into h, which must be built
-// from the same configuration and be drained.
+// from the same configuration (including requestor count) and be drained.
 func (h *Hierarchy) RestoreFrom(r *snapshot.Reader) error {
 	r.Expect("memsys")
 	if !h.Drained() {
@@ -67,9 +91,35 @@ func (h *Hierarchy) RestoreFrom(r *snapshot.Reader) error {
 	}
 	h.now = r.I64()
 	h.seq = r.U64()
+	if got := r.Int(); r.Err() == nil && got != len(h.fr) {
+		r.Failf("memsys: hierarchy has %d requestors, snapshot has %d", len(h.fr), got)
+	}
+	h.arb.next = r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := range h.fr {
+		f := &h.fr[i]
+		for _, c := range []interface {
+			RestoreFrom(*snapshot.Reader) error
+		}{f.l1i, f.l1d, f.l1iMSHR, f.l1dMSHR} {
+			if err := c.RestoreFrom(r); err != nil {
+				return err
+			}
+		}
+		st := &f.st
+		for _, p := range []*uint64{
+			&st.Loads, &st.Stores, &st.Fetches,
+			&st.LLCDemandAccesses, &st.LLCDemandMisses,
+			&st.DRAMReadsDemand, &st.DRAMReadsPrefetch, &st.DRAMWrites,
+			&st.LLCArbGrants, &st.LLCArbWaitCycles,
+		} {
+			*p = r.U64()
+		}
+	}
 	for _, c := range []interface {
 		RestoreFrom(*snapshot.Reader) error
-	}{h.l1i, h.l1d, h.llc, h.l1iMSHR, h.l1dMSHR, h.llcMSHR, h.mem} {
+	}{h.llc, h.llcMSHR, h.mem} {
 		if err := c.RestoreFrom(r); err != nil {
 			return err
 		}

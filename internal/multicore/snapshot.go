@@ -1,0 +1,76 @@
+package multicore
+
+import (
+	"fmt"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/prog"
+	"runaheadsim/internal/snapshot"
+)
+
+// ClusterKind is the container kind of a whole-cluster snapshot: one
+// core-only section per core (each self-verifying against its configuration
+// fingerprint and program digest) followed by a single shared-hierarchy
+// section.
+const ClusterKind = "mcluster"
+
+// Snapshot drains the cluster and serializes it into a self-verifying
+// container. A restored cluster continues bit-for-bit identically.
+func (cl *Cluster) Snapshot() ([]byte, error) {
+	if err := cl.Drain(); err != nil {
+		return nil, err
+	}
+	w := &snapshot.Writer{}
+	w.Mark("mcluster")
+	w.Int(len(cl.cores))
+	w.I64(cl.now)
+	w.I64(cl.statsZero)
+	for _, f := range cl.finish {
+		w.I64(f)
+	}
+	for _, c := range cl.cores {
+		if err := c.SnapshotCoreTo(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.h.SnapshotTo(w); err != nil {
+		return nil, err
+	}
+	return snapshot.Encode(ClusterKind, w.Bytes()), nil
+}
+
+// RestoreCluster decodes a cluster snapshot into a fresh cluster built from
+// cfg and progs, which must match the snapshot's topology (core count,
+// per-core configuration fingerprint, program text digests).
+func RestoreCluster(data []byte, cfg core.Config, progs []*prog.Program) (*Cluster, error) {
+	payload, err := snapshot.Decode(data, ClusterKind)
+	if err != nil {
+		return nil, err
+	}
+	cl := New(cfg, progs)
+	r := snapshot.NewReader(payload)
+	r.Expect("mcluster")
+	if n := r.Int(); r.Err() == nil && n != len(cl.cores) {
+		r.Failf("multicore: cluster has %d cores, snapshot has %d", len(cl.cores), n)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	cl.now = r.I64()
+	cl.statsZero = r.I64()
+	for i := range cl.finish {
+		cl.finish[i] = r.I64()
+	}
+	for _, c := range cl.cores {
+		if err := c.RestoreCoreFrom(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.h.RestoreFrom(r); err != nil {
+		return nil, err
+	}
+	if rest := r.Rest(); len(rest) != 0 {
+		return nil, fmt.Errorf("multicore: %d trailing bytes after cluster snapshot", len(rest))
+	}
+	return cl, nil
+}
