@@ -5,8 +5,13 @@
 // per-core IPC, weighted speedup, and slowdown fairness for an N-core mix
 // sharing one LLC + DRAM, baseline vs runahead buffer.
 //
+// With -sample the detailed runs behind the verdicts are sampled instead of
+// full-detail, and -sample-mode=phase appends a table of per-metric 95%
+// confidence intervals next to the phase-weighted estimates.
+//
 //	runahead-report
 //	runahead-report -uops 300000
+//	runahead-report -sample -sample-mode=phase
 //	runahead-report -cores 4
 //	runahead-report -cores 2 -mix libquantum,mcf -json
 package main
@@ -29,10 +34,27 @@ func main() {
 		cpiStack = flag.Bool("cpi", false, "also emit the CPI-stack breakdown table")
 		cores    = flag.Int("cores", 0, "also emit the multi-programmed table for an N-core mix (0 = skip)")
 		mix      = flag.String("mix", "", "kernel mix for -cores, one per core (empty = default memory-bound rotation)")
+
+		sample    = flag.Bool("sample", false, "replace full detailed runs with checkpointed sampled intervals")
+		sMode     = flag.String("sample-mode", "even", "sampled window placement: \"even\" (evenly spaced) or \"phase\" (BBV clustering, one weighted window per phase)")
+		intervals = flag.Int("intervals", 4, "detailed intervals per sampled run (with -sample); in phase mode, the cap on the phase count")
+		sWindow   = flag.Uint64("sample-window", 0, "measured uops per sampled interval (0 = the whole region, split)")
+		sWarmup   = flag.Uint64("sample-warmup", 0, "detailed warmup uops per sampled interval (0 = 50000)")
+		sPhases   = flag.Int("phases", 0, "pin the phase count in -sample-mode=phase (0 = choose by BIC)")
+		sBBV      = flag.Int("bbv-windows", 0, "BBV profiling windows in -sample-mode=phase (0 = 32)")
 	)
 	flag.Parse()
 
 	opts := harness.Options{MeasureUops: *uops}
+	if *sample {
+		if *sMode != harness.SampleEven && *sMode != harness.SamplePhase {
+			fmt.Fprintf(os.Stderr, "unknown -sample-mode %q (want even or phase)\n", *sMode)
+			os.Exit(2)
+		}
+		opts.Sample = &harness.SampleOptions{Mode: *sMode, Intervals: *intervals,
+			WindowUops: *sWindow, WarmupUops: *sWarmup,
+			Phases: *sPhases, BBVWindows: *sBBV}
+	}
 	if !*quiet {
 		opts.Progress = func(bench, config string) {
 			fmt.Fprintf(os.Stderr, "running %-12s %s\n", bench, config)
@@ -40,6 +62,9 @@ func main() {
 	}
 	r := harness.NewRunner(opts)
 	tables := []harness.Table{harness.Report(r)}
+	if *sample && *sMode == harness.SamplePhase {
+		tables = append(tables, harness.SamplingTable(r))
+	}
 	if *cpiStack {
 		tables = append(tables, harness.CPIStack(r))
 	}

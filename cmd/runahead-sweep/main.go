@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"runaheadsim/internal/harness"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/telemetry"
 )
 
@@ -49,9 +50,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		quiet     = fs.Bool("q", false, "suppress progress output")
 		workers   = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		sample    = fs.Bool("sample", false, "replace full detailed runs with checkpointed sampled intervals")
-		intervals = fs.Int("intervals", 4, "detailed intervals per sampled run (with -sample)")
+		sMode     = fs.String("sample-mode", "even", "sampled window placement: \"even\" (evenly spaced) or \"phase\" (BBV clustering, one weighted window per phase)")
+		intervals = fs.Int("intervals", 4, "detailed intervals per sampled run (with -sample); in phase mode, the cap on the phase count")
 		sWindow   = fs.Uint64("sample-window", 0, "measured uops per sampled interval (0 = the whole region, split)")
 		sWarmup   = fs.Uint64("sample-warmup", 0, "detailed warmup uops per sampled interval (0 = 50000)")
+		sPhases   = fs.Int("phases", 0, "pin the phase count in -sample-mode=phase (0 = choose by BIC)")
+		sBBV      = fs.Int("bbv-windows", 0, "BBV profiling windows in -sample-mode=phase (0 = 32)")
 		benchOut  = fs.String("bench-out", "", "benchmark the sweep (parallel/sampled vs sequential full-detail) and write the JSON report here")
 		benchCore = fs.String("bench-core", "", "benchmark the cycle kernel (event vs scan scheduler, with equivalence checks) and write the JSON report here")
 		benchMem  = fs.String("bench-mem", "", "benchmark the memory system + clock warp (warp vs per-cycle clock, with equivalence checks) and write the JSON report here")
@@ -124,9 +128,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *sample {
+		if *sMode != harness.SampleEven && *sMode != harness.SamplePhase {
+			fmt.Fprintf(stderr, "unknown -sample-mode %q (want even or phase)\n", *sMode)
+			return 2
+		}
 		// Interval-level workers stay at 1: the sweep already keeps -j
 		// runs in flight, which parallelizes without oversubscribing.
-		opts.Sample = &harness.SampleOptions{Intervals: *intervals, WindowUops: *sWindow, WarmupUops: *sWarmup, Workers: 1}
+		opts.Sample = &harness.SampleOptions{Mode: *sMode, Intervals: *intervals,
+			WindowUops: *sWindow, WarmupUops: *sWarmup, Workers: 1,
+			Phases: *sPhases, BBVWindows: *sBBV}
 	}
 
 	if *cores > 1 || *mix != "" {
@@ -180,6 +190,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		report.Experiments = *exps
 		report.Sampled = *sample
 		if *sample {
+			report.SampleMode = *sMode
 			report.Intervals = *intervals
 		}
 		f, err := os.Create(*benchOut)
@@ -197,6 +208,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bench: %d runs, sequential %.1fs, parallel %.1fs (%.2fx), %.0f sim-cycles/s, max IPC err %.2f%%\n",
 			report.Runs, report.WallSequentialSec, report.WallParallelSec, report.Speedup,
 			report.SimCyclesPerSec, report.MaxIPCRelErrPct)
+		for _, sm := range report.SampleModes {
+			fmt.Fprintf(stderr, "bench: mode=%-5s detailed %d uops, max IPC err %.2f%%, mean %.2f%%\n",
+				sm.Mode, sm.DetailedUops, sm.MaxIPCRelErrPct, sm.MeanIPCRelErrPct)
+		}
 	}
 	return 0
 }
@@ -241,6 +256,7 @@ type benchReport struct {
 	Runs        int    `json:"runs"`
 	Workers     int    `json:"workers"`
 	Sampled     bool   `json:"sampled"`
+	SampleMode  string `json:"sample_mode,omitempty"`
 	Intervals   int    `json:"intervals,omitempty"`
 
 	WallSequentialSec float64 `json:"wall_sequential_sec"`
@@ -252,6 +268,25 @@ type benchReport struct {
 
 	// IPC of each pair under the benchmarked setup vs the sequential
 	// full-detail reference (nonzero only with -sample).
+	MaxIPCRelErrPct  float64 `json:"max_ipc_rel_err_pct"`
+	MeanIPCRelErrPct float64 `json:"mean_ipc_rel_err_pct"`
+
+	// SampleModes compares even vs phase placement over the same plan at
+	// the same settings against the same full-detail reference (present
+	// only with -sample).
+	SampleModes []benchSampleMode `json:"sample_modes,omitempty"`
+}
+
+// benchSampleMode is one sampling mode's accuracy and cost over the plan.
+type benchSampleMode struct {
+	Mode string `json:"mode"`
+	// DetailedUops is the total detailed-simulation cost across the plan —
+	// the budget the accuracy is bought with.
+	DetailedUops uint64 `json:"detailed_uops"`
+	// Phases is the largest per-run phase count the clustering chose
+	// (phase mode only).
+	Phases           int     `json:"phases,omitempty"`
+	WallSec          float64 `json:"wall_sec"`
 	MaxIPCRelErrPct  float64 `json:"max_ipc_rel_err_pct"`
 	MeanIPCRelErrPct float64 `json:"mean_ipc_rel_err_pct"`
 }
@@ -276,22 +311,71 @@ func benchmarkSweep(runner *harness.Runner, opts harness.Options, plan []harness
 		Workers:           workers,
 		WallSequentialSec: wallSeq,
 		WallParallelSec:   wallPar,
-		Speedup:           wallSeq / wallPar,
+		Speedup:           stats.Div(wallSeq, wallPar),
 	}
+	for _, pr := range plan {
+		res := runner.Result(pr.Bench, pr.Config)
+		r.SimCycles += res.Stats.Cycles
+	}
+	r.SimCyclesPerSec = stats.Div(float64(r.SimCycles), wallPar)
+	r.MaxIPCRelErrPct, r.MeanIPCRelErrPct = ipcError(runner, ref, plan)
+
+	// With sampling on, also run the plan under the other placement mode so
+	// the report compares even vs phase at the same settings (and so the
+	// accuracy gate can check that phase buys equal-or-better accuracy at
+	// equal-or-lower detailed cost).
+	if opts.Sample != nil {
+		cur := modeSummary(runner, ref, plan, wallPar)
+		for _, mode := range []string{harness.SampleEven, harness.SamplePhase} {
+			if mode == cur.Mode {
+				r.SampleModes = append(r.SampleModes, cur)
+				continue
+			}
+			altOpts := opts
+			so := *opts.Sample
+			so.Mode = mode
+			altOpts.Sample = &so
+			alt := harness.NewRunner(altOpts)
+			t0 = time.Now()
+			alt.Prewarm(plan, workers)
+			r.SampleModes = append(r.SampleModes, modeSummary(alt, ref, plan, time.Since(t0).Seconds()))
+		}
+	}
+	return r
+}
+
+// ipcError compares per-run IPC between a runner and the full-detail
+// reference, returning the max and mean relative error in percent. A plan may
+// legitimately be empty (an experiment subset with no runs) and a reference
+// IPC of zero contributes zero error rather than Inf.
+func ipcError(runner, ref *harness.Runner, plan []harness.PlannedRun) (maxE, meanE float64) {
 	var errSum float64
 	for _, pr := range plan {
 		res := runner.Result(pr.Bench, pr.Config)
 		refRes := ref.Result(pr.Bench, pr.Config)
-		r.SimCycles += res.Stats.Cycles
-		e := 100 * abs(res.IPC-refRes.IPC) / refRes.IPC
+		e := 100 * stats.Div(abs(res.IPC-refRes.IPC), refRes.IPC)
 		errSum += e
-		if e > r.MaxIPCRelErrPct {
-			r.MaxIPCRelErrPct = e
+		if e > maxE {
+			maxE = e
 		}
 	}
-	r.SimCyclesPerSec = float64(r.SimCycles) / wallPar
-	r.MeanIPCRelErrPct = errSum / float64(len(plan))
-	return r
+	return maxE, stats.Div(errSum, float64(len(plan)))
+}
+
+// modeSummary condenses one sampling mode's accuracy and cost over the plan.
+func modeSummary(runner, ref *harness.Runner, plan []harness.PlannedRun, wallSec float64) benchSampleMode {
+	sm := benchSampleMode{WallSec: wallSec}
+	sm.MaxIPCRelErrPct, sm.MeanIPCRelErrPct = ipcError(runner, ref, plan)
+	for _, pr := range plan {
+		if si := runner.Result(pr.Bench, pr.Config).Sampling; si != nil {
+			sm.Mode = si.Mode
+			sm.DetailedUops += si.DetailedUops
+			if si.Phases > sm.Phases {
+				sm.Phases = si.Phases
+			}
+		}
+	}
+	return sm
 }
 
 func abs(x float64) float64 {

@@ -8,6 +8,7 @@ import (
 	"runaheadsim/internal/multicore"
 	"runaheadsim/internal/prog"
 	"runaheadsim/internal/snapshot"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
@@ -174,16 +175,16 @@ func benchMixCell(alone *Runner, mix []string, rc RunConfig, uops uint64) (*Benc
 	var invSum float64
 	for i, b := range mix {
 		fin := cl.FinishCycle(i)
-		ipcShared := float64(uops) / float64(fin)
+		ipcShared := stats.Div(float64(uops), float64(fin))
 		ipcAlone := alone.Result(b, rc).IPC
-		sd := ipcAlone / ipcShared
-		run.WeightedSpeedup += ipcShared / ipcAlone
-		invSum += 1 / sd
+		sd := stats.Div(ipcAlone, ipcShared)
+		run.WeightedSpeedup += stats.Div(ipcShared, ipcAlone)
+		invSum += stats.Div(1, sd)
 		if sd > run.MaxSlowdown {
 			run.MaxSlowdown = sd
 		}
 	}
-	run.HmeanSlowdown = float64(len(mix)) / invSum
+	run.HmeanSlowdown = stats.Div(float64(len(mix)), invSum)
 	run.CommittedUops = committed
 	run.SimCycles = cycles
 	run.CyclesPerSec = float64(run.SimCycles) / best

@@ -9,6 +9,7 @@ import (
 
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/snapshot"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
@@ -183,8 +184,8 @@ func BenchMem(benches []string, uops uint64) (*BenchMemReport, error) {
 				IPC:              warpCore.Stats().IPC(),
 				Warps:            warps,
 				WarpedCycles:     skipped,
-				WarpedFrac:       float64(skipped) / float64(cycles),
-				MemStallFrac:     float64(warpCore.Stats().MemStallCycles) / float64(cycles),
+				WarpedFrac:       stats.Div(float64(skipped), float64(cycles)),
+				MemStallFrac:     stats.Div(float64(warpCore.Stats().MemStallCycles), float64(cycles)),
 				TickSec:          tickSec,
 				WarpSec:          warpSec,
 				TickCyclesPerSec: float64(cycles) / tickSec,

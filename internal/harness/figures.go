@@ -56,7 +56,9 @@ func (r *Runner) gmeanDelta(benches []string, rc RunConfig) float64 {
 	for _, b := range benches {
 		base := r.Result(b, Baseline)
 		v := r.Result(b, rc)
-		ratios = append(ratios, v.IPC/base.IPC)
+		// Div, not /: a degenerate run (zero-cycle sampled window) must not
+		// leak NaN/Inf through the geomean into tables and -json output.
+		ratios = append(ratios, stats.Div(v.IPC, base.IPC))
 	}
 	return 100 * (stats.GeoMean(ratios) - 1)
 }
@@ -237,7 +239,7 @@ func Figure11(r *Runner) Table {
 	var vals []float64
 	for _, name := range r.mhNames() {
 		st := r.Result(name, BufferCC).Stats
-		v := 100 * float64(st.RunaheadBufferCycles) / float64(st.Cycles)
+		v := 100 * stats.Div(float64(st.RunaheadBufferCycles), float64(st.Cycles))
 		vals = append(vals, v)
 		t.AddRow(name, pct(v))
 	}
@@ -294,7 +296,7 @@ func Figure14(r *Runner) Table {
 			t.AddRow(name, "-")
 			continue
 		}
-		v := 100 * float64(st.RunaheadBufferCycles) / float64(st.RunaheadCycles)
+		v := 100 * stats.Div(float64(st.RunaheadBufferCycles), float64(st.RunaheadCycles))
 		vals = append(vals, v)
 		t.AddRow(name, pct(v))
 	}

@@ -96,6 +96,11 @@ type Result struct {
 	// Chains holds Figure 7-style renderings of the dependence chains left
 	// in the chain cache at the end of the run (at most two).
 	Chains []string
+
+	// Sampling describes how this result was sampled (nil for full-detail
+	// runs): the mode, the detailed-uop cost, and — in phase mode — the
+	// phase structure and per-metric confidence intervals.
+	Sampling *SamplingInfo
 }
 
 // Options tunes harness runs. MeasureUops trades fidelity for speed; the
@@ -388,8 +393,8 @@ func (r *Runner) run(bench string, rc RunConfig) *Result {
 		Timeline:     tl,
 		Energy:       energy.Compute(energy.DefaultParams(), energy.Measure(c)),
 		IPC:          st.IPC(),
-		MPKI:         1000 * float64(c.Hierarchy().LLCDemandMisses) / float64(st.Committed),
-		MemStallPct:  100 * float64(st.MemStallCycles) / float64(st.Cycles),
+		MPKI:         1000 * stats.Div(float64(c.Hierarchy().LLCDemandMisses), float64(st.Committed)),
+		MemStallPct:  100 * stats.Div(float64(st.MemStallCycles), float64(st.Cycles)),
 		DRAMRequests: c.Hierarchy().TotalDRAMRequests(),
 	}
 	for _, ch := range c.CachedChains() {

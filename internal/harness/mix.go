@@ -11,6 +11,7 @@ import (
 	"runaheadsim/internal/multicore"
 	"runaheadsim/internal/prog"
 	"runaheadsim/internal/simcheck"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
@@ -180,11 +181,11 @@ func (r *Runner) runMix(mix []string, rc RunConfig) *MixResult {
 	h := cl.Hierarchy()
 	for i, b := range mix {
 		fin := cl.FinishCycle(i)
-		ipcShared := float64(quota) / float64(fin)
+		ipcShared := stats.Div(float64(quota), float64(fin))
 		ipcAlone := r.Result(b, rc).IPC
-		sd := ipcAlone / ipcShared
-		ws += ipcShared / ipcAlone
-		invSum += 1 / sd
+		sd := stats.Div(ipcAlone, ipcShared)
+		ws += stats.Div(ipcShared, ipcAlone)
+		invSum += stats.Div(1, sd)
 		if sd > maxSd {
 			maxSd = sd
 		}
@@ -204,7 +205,7 @@ func (r *Runner) runMix(mix []string, rc RunConfig) *MixResult {
 		res.Cores = append(res.Cores, mc)
 	}
 	res.WeightedSpeedup = ws
-	res.HmeanSlowdown = float64(len(mix)) / invSum
+	res.HmeanSlowdown = stats.Div(float64(len(mix)), invSum)
 	res.MaxSlowdown = maxSd
 	publishMixMetrics(res)
 	return res

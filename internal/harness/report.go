@@ -58,7 +58,9 @@ func mlpRatio(r *Runner) float64 {
 		ra = append(ra, stats.Ratio(a.RunaheadMissesLLC, a.RunaheadIntervals))
 		rb = append(rb, stats.Ratio(b.RunaheadMissesLLC, b.RunaheadIntervals))
 	}
-	return stats.Mean(rb) / stats.Mean(ra)
+	// Div, not /: a run short enough to never enter runahead leaves both
+	// means zero, and 0/0 would put NaN into the claims table and -json.
+	return stats.Div(stats.Mean(rb), stats.Mean(ra))
 }
 
 // StorageOverheadBytes computes the runahead buffer system's hardware cost
@@ -108,7 +110,7 @@ func Claims() []Claim {
 				var vs []float64
 				for _, name := range r.mhNames() {
 					st := r.Result(name, BufferCC).Stats
-					vs = append(vs, 100*float64(st.RunaheadBufferCycles)/float64(st.Cycles))
+					vs = append(vs, 100*stats.Div(float64(st.RunaheadBufferCycles), float64(st.Cycles)))
 				}
 				return stats.Mean(vs)
 			}},

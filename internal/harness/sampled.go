@@ -3,25 +3,40 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"runaheadsim/internal/core"
 	"runaheadsim/internal/energy"
+	"runaheadsim/internal/phases"
 	"runaheadsim/internal/prog"
 	"runaheadsim/internal/simcheck"
+	"runaheadsim/internal/stats"
 	"runaheadsim/internal/workload"
 )
 
+// Sampling modes. SampleEven is PR 3's engine: N windows spaced evenly
+// across the measured region, merged unweighted. SamplePhase is the
+// SimPoint-style engine: the functional fast-forward first profiles
+// basic-block vectors over a fine window grid, deterministic k-means groups
+// the windows into phases, and only one representative window per phase is
+// simulated in detail, its counters scaled up by the uops its phase covers.
+const (
+	SampleEven  = "even"
+	SamplePhase = "phase"
+)
+
 // SampleOptions tunes the sampled-interval engine (Options.Sample). The full
-// measured region is split into Intervals detailed windows spaced evenly
-// across it; a single functional fast-forward of the program drops an
-// architectural checkpoint ahead of each window, and every window is then
-// simulated in detail — WarmupUops to re-warm the cold microarchitectural
-// state, then the window's share of the measured uops — on a bounded worker
-// pool. Merged counters approximate the full run at a fraction of the
-// detailed-simulation cost.
+// measured region is covered by detailed windows — evenly spaced, or one per
+// behavior phase — each reached by restoring an architectural checkpoint
+// dropped during a single functional fast-forward, then re-warmed with
+// WarmupUops of detailed simulation before measuring.
 type SampleOptions struct {
-	// Intervals is the number of detailed windows (0 = 4).
+	// Mode selects window placement: SampleEven (default) or SamplePhase.
+	Mode string
+	// Intervals is the number of detailed windows in even mode, and the cap
+	// on the BIC phase search in phase mode (0 = 4). Phase mode therefore
+	// never simulates more detailed windows than even mode would.
 	Intervals int
 	// WarmupUops is the detailed warmup run before each window's
 	// measurement, re-warming caches and predictor from the cold
@@ -38,6 +53,15 @@ type SampleOptions struct {
 	// Workers bounds how many windows simulate concurrently
 	// (0 = GOMAXPROCS).
 	Workers int
+
+	// Phases, when positive, pins the phase count in phase mode instead of
+	// the BIC search (the -phases override).
+	Phases int
+	// BBVWindows is the number of windows in the phase-mode BBV profiling
+	// grid (0 = 32, clamped so every window is at least one uop). More
+	// windows resolve finer phase structure at slightly more functional
+	// work; the detailed cost is governed by the phase count, not the grid.
+	BBVWindows int
 }
 
 func (o SampleOptions) intervals() int {
@@ -61,13 +85,179 @@ func (o SampleOptions) workers() int {
 	return o.Workers
 }
 
-// checkpoint is one interval's starting state: the architectural image at
-// ffUops committed uops, plus the detailed warmup and measurement lengths.
+func (o SampleOptions) phaseMode() bool { return o.Mode == SamplePhase }
+
+func (o SampleOptions) bbvWindows() int {
+	if o.BBVWindows <= 0 {
+		return 32
+	}
+	return o.BBVWindows
+}
+
+// checkpoint is one detailed window of the plan: the architectural image at
+// its fast-forward point, the detailed warmup and measurement lengths, and
+// the merge weight its counters carry.
 type checkpoint struct {
 	id      int
 	st      prog.ArchState
+	start   uint64 // committed-uop offset of the measured window's first uop
 	warmup  uint64
 	measure uint64
+	// Merged counters scale by wnum/wden: the uops this window stands in
+	// for over the uops it actually measures. Even mode windows tile their
+	// strata and merge unweighted (1/1).
+	wnum, wden uint64
+}
+
+// ffStart returns the committed-uop offset the functional fast-forward must
+// reach before this window's checkpoint is taken, saturating at zero so an
+// oversized warmup can never wrap the progress goal around uint64.
+func (ck checkpoint) ffStart() uint64 {
+	if ck.warmup > ck.start {
+		return 0
+	}
+	return ck.start - ck.warmup
+}
+
+// planEven places n evenly spaced windows over the measured region
+// [full, full+measure). Window i owns stratum [full+i*step, full+(i+1)*step),
+// with the division remainder folded into the last stratum so the strata
+// tile the region exactly — no overrun past the region end and no
+// double-counted uops in the merged weights. A window measures its whole
+// stratum, or just WindowUops of it when a smaller sample is requested.
+func planEven(full, measure uint64, so SampleOptions) []checkpoint {
+	n := so.intervals()
+	if uint64(n) > measure {
+		n = 1
+	}
+	step := measure / uint64(n)
+	plan := make([]checkpoint, n)
+	for i := 0; i < n; i++ {
+		start := full + uint64(i)*step
+		m := step
+		if i == n-1 {
+			m = measure - step*uint64(n-1)
+		}
+		if so.WindowUops > 0 && so.WindowUops < m {
+			m = so.WindowUops
+		}
+		w := so.warmupUops()
+		if w > start {
+			w = start
+		}
+		plan[i] = checkpoint{id: i, start: start, warmup: w, measure: m, wnum: 1, wden: 1}
+	}
+	return plan
+}
+
+// planFromPhases turns a phase-analysis plan into checkpoints. The full
+// Intervals window budget is allocated across phases proportionally to their
+// uop weight (d'Hondt highest averages, so a 1-phase workload still gets all
+// Intervals windows): a phase with one window simulates its representative;
+// a phase with several stratifies its member list into contiguous chunks and
+// simulates the member of each chunk closest to the phase centroid, each
+// window carrying its chunk's exact uop weight. The measured length is
+// WindowUops when set (the SimPoint shape — measurement length independent
+// of the profiling grid's resolution), the grid window otherwise, clamped so
+// no window overruns the measured region's end. Detailed cost therefore
+// never exceeds even mode's at the same settings. The returned checkpoints
+// are in ascending start order, so the fast-forward streams them in one
+// pass.
+func planFromPhases(plan *phases.Plan, so SampleOptions, regionEnd uint64) []checkpoint {
+	k := len(plan.Phases)
+	n := so.intervals()
+	if n < k {
+		n = k
+	}
+	// Highest-averages allocation of the n windows: each extra window goes
+	// to the phase maximizing Weight/(alloc+1), capped at its member count;
+	// ties break to the lowest phase index.
+	alloc := make([]int, k)
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	for given := k; given < n; given++ {
+		best := -1
+		for i, ph := range plan.Phases {
+			if alloc[i] >= len(ph.Members) {
+				continue
+			}
+			if best < 0 || ph.Weight*uint64(alloc[best]+1) > plan.Phases[best].Weight*uint64(alloc[i]+1) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every phase already simulates all its windows
+		}
+		alloc[best]++
+	}
+
+	var cks []checkpoint
+	for pi, ph := range plan.Phases {
+		c := alloc[pi]
+		for j := 0; j < c; j++ {
+			// Every chunk member belongs to the same phase, so each is
+			// equally representative; taking the chunk's first keeps the
+			// windows temporally stratified, and makes the k=1 degenerate
+			// case reproduce even mode's placement exactly.
+			chunk := ph.Members[j*len(ph.Members)/c : (j+1)*len(ph.Members)/c]
+			rep := chunk[0]
+			var weight uint64
+			for _, mem := range chunk {
+				weight += plan.Windows[mem].Len
+			}
+			win := plan.Windows[rep]
+			m := win.Len
+			if so.WindowUops > 0 {
+				m = so.WindowUops
+			}
+			if win.Start+m > regionEnd {
+				m = regionEnd - win.Start
+			}
+			w := so.warmupUops()
+			if w > win.Start {
+				w = win.Start
+			}
+			den := m
+			if den == 0 {
+				den = 1
+			}
+			cks = append(cks, checkpoint{start: win.Start, warmup: w, measure: m, wnum: weight, wden: den})
+		}
+	}
+	sort.Slice(cks, func(a, b int) bool { return cks[a].start < cks[b].start })
+	// Uniform weights cancel in every ratio metric (IPC, MPKI, stall
+	// fractions are all ratio-of-sums, and the jackknife's leave-one-out
+	// ratios scale the same way), so when every window carries the same
+	// wnum/wden the plan collapses to unit weights. This skips ScaleU64's
+	// per-counter rounding on the merge path, making the k=1 degenerate case
+	// bit-identical to even mode rather than equal-to-within-rounding.
+	uniform := true
+	for i := 1; i < len(cks); i++ {
+		if cks[i].wnum*cks[0].wden != cks[0].wnum*cks[i].wden {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		for i := range cks {
+			cks[i].wnum, cks[i].wden = 1, 1
+		}
+	}
+	for i := range cks {
+		cks[i].id = i
+	}
+	return cks
+}
+
+// detailedUops returns the detailed-simulation cost of a plan: every warmup
+// and measured uop that runs on the out-of-order core.
+func detailedUops(plan []checkpoint) uint64 {
+	var n uint64
+	for _, ck := range plan {
+		n += ck.warmup + ck.measure
+	}
+	return n
 }
 
 // intervalResult carries one simulated window's counters back to the merge.
@@ -92,40 +282,26 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 
 	full := r.opts.warmup(spec.Class)
 	measure := r.opts.MeasureUops
-	n := so.intervals()
-	if uint64(n) > measure {
-		n = 1
-	}
-	step := measure / uint64(n)
+	label := rc.Label()
+	m := r.opts.Monitor
 
-	// Plan the windows. Window i measures [start, start+measure_i) in
-	// committed-uop coordinates of the full run; the checkpoint is taken
-	// warmup uops earlier so the detailed core reaches the window warm.
-	// With WindowUops below the stratum length only a sample of each
-	// stratum is simulated in detail; the rest is covered by the
-	// functional fast-forward.
-	plan := make([]checkpoint, n)
-	for i := 0; i < n; i++ {
-		start := full + uint64(i)*step
-		m := step
-		if i == n-1 {
-			m = measure - step*uint64(n-1)
+	var plan []checkpoint
+	var phasePlan *phases.Plan
+	if so.phaseMode() {
+		pp, err := r.profilePhases(bench, label, p, full, measure, so)
+		if err != nil {
+			return nil, err
 		}
-		if so.WindowUops > 0 && so.WindowUops < m {
-			m = so.WindowUops
-		}
-		w := so.warmupUops()
-		if w > start {
-			w = start
-		}
-		plan[i] = checkpoint{id: i, warmup: w, measure: m}
+		phasePlan = pp
+		plan = planFromPhases(phasePlan, so, full+measure)
+	} else {
+		plan = planEven(full, measure, so)
 	}
+	n := len(plan)
 
 	// One interpreter streams through the program once, dropping each
 	// checkpoint as it passes; the bounded channel keeps at most a couple
 	// of memory images alive beyond the ones workers hold.
-	label := rc.Label()
-	m := r.opts.Monitor
 	cks := make(chan checkpoint, 1)
 	var capErr error
 	go func() {
@@ -137,14 +313,15 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 		}()
 		in := prog.NewInterp(p)
 		if m != nil {
-			// The fast-forward's goal is the last checkpoint's position.
-			last := plan[n-1]
-			m.Phase(bench, label, -1, "fast-forward", full+uint64(last.id)*step-last.warmup)
+			// The fast-forward's goal is the last checkpoint's position,
+			// saturating at zero when the warmup exceeds the window offset.
+			m.Phase(bench, label, -1, "fast-forward", plan[n-1].ffStart())
 			defer m.Done(bench, label, -1)
 		}
 		for _, ck := range plan {
-			ff := full + uint64(ck.id)*step - ck.warmup
-			in.Run(ff - in.Count())
+			if ff := ck.ffStart(); ff > in.Count() {
+				in.Run(ff - in.Count())
+			}
 			ck.st = in.ArchState()
 			if m != nil {
 				m.Progress(bench, label, -1, in.Count())
@@ -182,15 +359,16 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 		if ir.st == nil {
 			return nil, fmt.Errorf("interval %d: no result", i)
 		}
-		merged.Merge(ir.st)
-		act.L1DAccesses += ir.activity.L1DAccesses
-		act.L1IAccesses += ir.activity.L1IAccesses
-		act.LLCAccesses += ir.activity.LLCAccesses
-		act.DRAMReads += ir.activity.DRAMReads
-		act.DRAMWrites += ir.activity.DRAMWrites
-		act.DRAMActivates += ir.activity.DRAMActivates
-		llcMisses += ir.llcMiss
-		res.DRAMRequests += ir.dramReqs
+		ck := plan[i]
+		merged.MergeScaled(ir.st, ck.wnum, ck.wden)
+		act.L1DAccesses += stats.ScaleU64(ir.activity.L1DAccesses, ck.wnum, ck.wden)
+		act.L1IAccesses += stats.ScaleU64(ir.activity.L1IAccesses, ck.wnum, ck.wden)
+		act.LLCAccesses += stats.ScaleU64(ir.activity.LLCAccesses, ck.wnum, ck.wden)
+		act.DRAMReads += stats.ScaleU64(ir.activity.DRAMReads, ck.wnum, ck.wden)
+		act.DRAMWrites += stats.ScaleU64(ir.activity.DRAMWrites, ck.wnum, ck.wden)
+		act.DRAMActivates += stats.ScaleU64(ir.activity.DRAMActivates, ck.wnum, ck.wden)
+		llcMisses += stats.ScaleU64(ir.llcMiss, ck.wnum, ck.wden)
+		res.DRAMRequests += stats.ScaleU64(ir.dramReqs, ck.wnum, ck.wden)
 		if len(ir.chains) > 0 {
 			res.Chains = ir.chains // keep the latest window's chains
 		}
@@ -199,8 +377,23 @@ func (r *Runner) runSampled(bench string, rc RunConfig, spec workload.Spec) (*Re
 	// summed activity equals summing per-window breakdowns.
 	res.Energy = energy.Compute(energy.DefaultParams(), act)
 	res.IPC = merged.IPC()
-	res.MPKI = 1000 * float64(llcMisses) / float64(merged.Committed)
-	res.MemStallPct = 100 * float64(merged.MemStallCycles) / float64(merged.Cycles)
+	res.MPKI = 1000 * stats.Div(float64(llcMisses), float64(merged.Committed))
+	res.MemStallPct = 100 * stats.Div(float64(merged.MemStallCycles), float64(merged.Cycles))
+
+	res.Sampling = &SamplingInfo{
+		Mode:         so.Mode,
+		Intervals:    n,
+		DetailedUops: detailedUops(plan),
+	}
+	if res.Sampling.Mode == "" {
+		res.Sampling.Mode = SampleEven
+	}
+	if phasePlan != nil {
+		res.Sampling.BBVWindows = len(phasePlan.Windows)
+		res.Sampling.Phases = phasePlan.K()
+		res.Sampling.Dispersion = phasePlan.AvgDispersion()
+		res.Sampling.CIs = sampleCIs(plan, results, phasePlan)
+	}
 	return res, nil
 }
 

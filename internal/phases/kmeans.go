@@ -1,0 +1,267 @@
+package phases
+
+import "math"
+
+// maxLloydIters bounds the Lloyd refinement loop; assignments on these small
+// window sets converge in a handful of iterations, so hitting the bound is a
+// safety valve, not an expected exit.
+const maxLloydIters = 64
+
+// clustering is one k-means outcome over a fixed vector set.
+type clustering struct {
+	k         int
+	assign    []int    // vector index -> cluster
+	centroids []Vector // cluster -> mean vector
+	sse       float64  // total within-cluster squared Euclidean error
+}
+
+// kmeans clusters vecs into k groups deterministically. Seeding is maximin
+// (farthest-point) from vector 0, assignment ties break toward the lowest
+// cluster index, and empty clusters are repaired by stealing the globally
+// worst-fit vector — all scan-order decisions, no randomness.
+func kmeans(vecs []Vector, k int) clustering {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	cl := clustering{k: k, assign: make([]int, n), centroids: make([]Vector, k)}
+	if n == 0 || k == 0 {
+		return cl
+	}
+	dim := len(vecs[0])
+
+	// Maximin seeding: start from vector 0, then repeatedly take the vector
+	// farthest from every already-chosen seed (lowest index on ties).
+	seeds := make([]int, 1, k)
+	minD := make([]float64, n) // distance to the nearest chosen seed
+	for i := range minD {
+		minD[i] = sqDist(vecs[i], vecs[0])
+	}
+	for len(seeds) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minD[i] > bestD {
+				best, bestD = i, minD[i]
+			}
+		}
+		seeds = append(seeds, best)
+		for i := range minD {
+			if d := sqDist(vecs[i], vecs[best]); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	for j, s := range seeds {
+		c := make(Vector, dim)
+		copy(c, vecs[s])
+		cl.centroids[j] = c
+	}
+
+	counts := make([]int, k)
+	for iter := 0; iter < maxLloydIters; iter++ {
+		// Assign: nearest centroid, strict < so ties keep the lowest index.
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, sqDist(v, cl.centroids[0])
+			for j := 1; j < k; j++ {
+				if d := sqDist(v, cl.centroids[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if cl.assign[i] != best {
+				cl.assign[i] = best
+				changed = true
+			}
+		}
+		// Repair empty clusters: move the vector farthest from its assigned
+		// centroid (lowest index on ties) into the empty cluster, one at a
+		// time in cluster order.
+		for j := 0; j < k; j++ {
+			counts[j] = 0
+		}
+		for _, a := range cl.assign {
+			counts[a]++
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] > 0 {
+				continue
+			}
+			worst, worstD := -1, -1.0
+			for i, v := range vecs {
+				if counts[cl.assign[i]] <= 1 {
+					continue // don't empty another cluster
+				}
+				if d := sqDist(v, cl.centroids[cl.assign[i]]); d > worstD {
+					worst, worstD = i, d
+				}
+			}
+			if worst < 0 {
+				break // fewer distinct vectors than clusters
+			}
+			counts[cl.assign[worst]]--
+			cl.assign[worst] = j
+			counts[j] = 1
+			changed = true
+		}
+		// Update: centroid = mean of members, accumulated in index order so
+		// float summation order is fixed.
+		for j := range cl.centroids {
+			for d := 0; d < dim; d++ {
+				cl.centroids[j][d] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := cl.centroids[cl.assign[i]]
+			for d, x := range v {
+				c[d] += x
+			}
+		}
+		for j := range cl.centroids {
+			if counts[j] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			for d := range cl.centroids[j] {
+				cl.centroids[j][d] *= inv
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	for i, v := range vecs {
+		cl.sse += sqDist(v, cl.centroids[cl.assign[i]])
+	}
+	return cl
+}
+
+// bic scores a clustering with the Bayesian information criterion under the
+// identical-spherical-Gaussian model of x-means (Pelleg & Moore): the
+// cluster-size log-likelihood terms minus a parameter penalty of k-1 mixing
+// weights, k*d centroid coordinates, and one shared variance. Higher is
+// better. A (near-)zero-variance clustering — every vector sitting on its
+// centroid — scores +Inf, so the smallest k that explains the data exactly
+// wins the scan below.
+func bic(cl clustering, n, dim int) float64 {
+	if n <= cl.k {
+		return math.Inf(-1)
+	}
+	variance := cl.sse / float64(dim*(n-cl.k))
+	if variance < 1e-18 {
+		return math.Inf(1)
+	}
+	counts := make([]float64, cl.k)
+	for _, a := range cl.assign {
+		counts[a]++
+	}
+	var loglik float64
+	for _, c := range counts {
+		if c > 0 {
+			loglik += c * math.Log(c)
+		}
+	}
+	nf := float64(n)
+	loglik -= nf * math.Log(nf)
+	loglik -= nf * float64(dim) / 2 * math.Log(2*math.Pi*variance)
+	loglik -= float64(n-cl.k) * float64(dim) / 2
+	params := float64(cl.k-1) + float64(cl.k*dim) + 1
+	return loglik - params/2*math.Log(nf)
+}
+
+// bicThreshold is the SimPoint selection rule: rather than the absolute BIC
+// maximum (which overfits low-noise data by always paying the parameter
+// penalty for a variance win), pick the smallest k whose score covers at
+// least this fraction of the observed [worst, best] score range.
+const bicThreshold = 0.9
+
+// phaseNoiseEps is the Manhattan radius around the global centroid below
+// which BBV variation counts as measurement noise, not phase structure. A
+// steady-state workload whose windows differ only in how loop iterations
+// straddle window boundaries produces deviations orders of magnitude below
+// this (~1e-4 of the uop mass); a real phase change moves whole basic blocks
+// in and out of the mix and lands far above it. Without the floor, BIC's
+// Gaussian likelihood diverges as within-cluster variance approaches zero
+// and happily splits a homogeneous workload into spurious micro-clusters.
+const phaseNoiseEps = 0.02
+
+// cluster picks the phase count: forceK > 0 pins it, otherwise BIC scores
+// k = 1..maxK and the smallest k reaching bicThreshold of the score range is
+// chosen (the SimPoint rule; ties and an all-equal range resolve to the
+// smallest k).
+func cluster(vecs []Vector, maxK, forceK int) clustering {
+	if forceK > 0 {
+		return kmeans(vecs, forceK)
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > len(vecs) {
+		maxK = len(vecs)
+	}
+	if homogeneous(vecs) {
+		return kmeans(vecs, 1)
+	}
+	cls := make([]clustering, 0, maxK)
+	scores := make([]float64, 0, maxK)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		cl := kmeans(vecs, k)
+		score := bic(cl, len(vecs), dimOf(vecs))
+		cls = append(cls, cl)
+		scores = append(scores, score)
+		// A +Inf score means this k explains the data exactly; no larger k
+		// can do better, so the smallest such k wins immediately.
+		if math.IsInf(score, 1) {
+			return cl
+		}
+		if !math.IsInf(score, -1) {
+			if score < lo {
+				lo = score
+			}
+			if score > hi {
+				hi = score
+			}
+		}
+	}
+	if math.IsInf(hi, -1) { // every k was degenerate (k >= n throughout)
+		return cls[0]
+	}
+	threshold := hi - (1-bicThreshold)*(hi-lo)
+	for i, score := range scores {
+		if score >= threshold {
+			return cls[i]
+		}
+	}
+	return cls[len(cls)-1]
+}
+
+func dimOf(vecs []Vector) int {
+	if len(vecs) == 0 {
+		return 0
+	}
+	return len(vecs[0])
+}
+
+// homogeneous reports whether every vector lies within phaseNoiseEps of the
+// global centroid — a single-phase workload regardless of what BIC would say.
+func homogeneous(vecs []Vector) bool {
+	if len(vecs) < 2 {
+		return true
+	}
+	centroid := make(Vector, dimOf(vecs))
+	for _, v := range vecs {
+		for d, x := range v {
+			centroid[d] += x
+		}
+	}
+	inv := 1 / float64(len(vecs))
+	for d := range centroid {
+		centroid[d] *= inv
+	}
+	for _, v := range vecs {
+		if Manhattan(v, centroid) > phaseNoiseEps {
+			return false
+		}
+	}
+	return true
+}
