@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet lint check bench bench-core bench-mem bench-mc bench-go sweep report examples telemetry-smoke clean
+.PHONY: test vet lint check bench bench-core bench-mem bench-mc bench-twin bench-go sweep report examples telemetry-smoke clean
 
 test:
 	go test ./...
@@ -56,6 +56,17 @@ bench-mem:
 bench-mc:
 	go run ./cmd/runahead-sweep -uops 60000 -bench-mc BENCH_mc.json
 
+# Benchmark the analytical twin: run the full-detail figure9 reference
+# sweep, calibrate the interval model against it, then run a fresh screened
+# sweep (twin predictions everywhere, detailed simulation only on promoted
+# regions). Writes BENCH_twin.json: calibration accuracy (IPC MAPE, Pearson
+# r, energy MAPE, per-workload slices), promoted-region fidelity
+# (bit-identical runs, RB-vs-baseline ranking), and the wall-time ratio
+# against full detail (see DESIGN.md §15). Leaves the calibration artifact
+# at twin_coeffs.json for runahead-sweep/-report -screen.
+bench-twin:
+	go run ./cmd/runahead-sweep -j 8 -q -bench-twin BENCH_twin.json -twin twin_coeffs.json
+
 # Live-introspection smoke: the -tags nometrics build, every telemetry
 # endpoint served during a real parallel sampled sweep (including an SSE
 # progress frame), and a forced watchdog trip producing a non-empty
@@ -82,4 +93,4 @@ examples:
 	go run ./examples/energy_tradeoff
 
 clean:
-	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json BENCH_mem.json BENCH_mc.json
+	rm -f sweep_results.txt test_output.txt bench_output.txt BENCH_sweep.json BENCH_core.json BENCH_mem.json BENCH_mc.json BENCH_twin.json twin_coeffs.json

@@ -9,9 +9,15 @@
 // full-detail, and -sample-mode=phase appends a table of per-metric 95%
 // confidence intervals next to the phase-weighted estimates.
 //
+// With -screen the runs are screened through the calibrated analytical twin
+// (-twin points at the artifact): only promoted and out-of-domain pairs
+// simulate in detail, the rest are twin predictions, and a provenance table
+// naming each bench's tier rides along in both text and -json output.
+//
 //	runahead-report
 //	runahead-report -uops 300000
 //	runahead-report -sample -sample-mode=phase
+//	runahead-report -screen -twin twin_coeffs.json -json
 //	runahead-report -cores 4
 //	runahead-report -cores 2 -mix libquantum,mcf -json
 package main
@@ -21,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"runaheadsim/internal/harness"
+	"runaheadsim/internal/twin"
 )
 
 func main() {
@@ -42,6 +50,11 @@ func main() {
 		sWarmup   = flag.Uint64("sample-warmup", 0, "detailed warmup uops per sampled interval (0 = 50000)")
 		sPhases   = flag.Int("phases", 0, "pin the phase count in -sample-mode=phase (0 = choose by BIC)")
 		sBBV      = flag.Int("bbv-windows", 0, "BBV profiling windows in -sample-mode=phase (0 = 32)")
+
+		useScreen = flag.Bool("screen", false, "screen runs through the calibrated analytical twin; only promoted pairs simulate in detail")
+		twinPath  = flag.String("twin", "twin_coeffs.json", "calibrated twin artifact for -screen (from runahead-sweep -calibrate)")
+		scTopK    = flag.Int("screen-topk", 3, "with -screen: promote the k largest twin-predicted RB-vs-baseline deltas")
+		scUnc     = flag.Float64("screen-uncertain", 10, "with -screen: promote benches whose calibration MAPE exceeds this %")
 	)
 	flag.Parse()
 
@@ -61,12 +74,41 @@ func main() {
 		}
 	}
 	r := harness.NewRunner(opts)
+	var sc *harness.Screen
+	if *useScreen {
+		model, err := twin.Load(*twinPath, harness.TwinFingerprint())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if model.MeasureUops != 0 && model.MeasureUops != *uops {
+			fmt.Fprintf(os.Stderr, "warning: %s was calibrated at %d measured uops, this report runs %d: accuracy scores do not transfer, consider recalibrating\n",
+				*twinPath, model.MeasureUops, *uops)
+		}
+		plan := r.Plan(func(rr *harness.Runner) {
+			harness.Report(rr)
+			if *cpiStack {
+				harness.CPIStack(rr)
+			}
+		})
+		sc, err = harness.BuildScreen(r, plan, harness.ScreenOptions{
+			Model: model, TopK: *scTopK, UncertainPct: *scUnc,
+		}, runtime.NumCPU())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r.SetScreen(sc)
+	}
 	tables := []harness.Table{harness.Report(r)}
 	if *sample && *sMode == harness.SamplePhase {
 		tables = append(tables, harness.SamplingTable(r))
 	}
 	if *cpiStack {
 		tables = append(tables, harness.CPIStack(r))
+	}
+	if sc != nil {
+		tables = append(tables, sc.Table())
 	}
 
 	// The multi-programmed section renders as a table in text mode; in JSON

@@ -64,6 +64,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		mix       = fs.String("mix", "", "multi-programmed mode: comma-separated kernel mix, one per core (empty = default memory-bound rotation)")
 		tele      = fs.String("telemetry-addr", "", "serve /metrics, /progress (live per-worker sweep state), /healthz and pprof on this address")
 		fdump     = fs.String("flight-dump", ".", "directory for flight-recorder crash dumps (empty disables)")
+		calibrate = fs.Bool("calibrate", false, "fit the analytical twin against detailed runs and write the artifact to -twin")
+		twinPath  = fs.String("twin", "twin_coeffs.json", "calibration artifact path (written by -calibrate, read by -screen)")
+		screen    = fs.Bool("screen", false, "screened sweep: twin predictions everywhere, detailed simulation only on promoted regions (needs a -twin artifact)")
+		scTopK    = fs.Int("screen-topk", 3, "promote this many benchmarks with the largest twin-predicted RB-vs-baseline deltas")
+		scUnc     = fs.Float64("screen-uncertain", 10, "promote benchmarks whose calibration MAPE exceeds this percentage")
+		scCrit    = fs.String("screen-critical", "", "comma-separated benchmarks to always promote to detailed simulation")
+		benchTwin = fs.String("bench-twin", "", "benchmark the twin (calibration accuracy + screened-vs-full sweep cost) and write the JSON report here")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -139,11 +146,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			Phases: *sPhases, BBVWindows: *sBBV}
 	}
 
+	if *calibrate {
+		var set []string
+		if *benches != "" {
+			set = strings.Split(*benches, ",")
+		}
+		return runCalibrate(*twinPath, opts, set, *workers, stderr)
+	}
+	if *benchTwin != "" {
+		return runBenchTwin(*benchTwin, *twinPath,
+			opts, screenFlags{topK: *scTopK, uncertain: *scUnc, critical: *scCrit}, *workers, stderr)
+	}
+
 	if *cores > 1 || *mix != "" {
 		return runMixMode(*cores, *mix, opts, w, *asJSON, stderr)
 	}
 
-	selected, err := selectExperiments(*exps)
+	expSpec := *exps
+	if *screen && expSpec == "all" {
+		// Screening targets the headline IPC sweep; the sensitivity and
+		// instrumentation experiments are outside the twin's domain and would
+		// all promote to detailed anyway.
+		expSpec = "figure9"
+		fmt.Fprintln(stderr, "screen: narrowing -experiments all to figure9 (pass -experiments explicitly to override)")
+	}
+	selected, err := selectExperiments(expSpec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -159,10 +186,32 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracker.SetTotalRuns(len(plan))
 	}
 
+	var sc *harness.Screen
+	if *screen {
+		if *benchOut != "" {
+			fmt.Fprintln(stderr, "-screen does not combine with -bench-out; use -bench-twin for the screened-vs-full comparison")
+			return 2
+		}
+		model, ok := loadTwin(*twinPath, opts.MeasureUops, stderr)
+		if !ok {
+			return 1
+		}
+		sc, err = harness.BuildScreen(runner, plan,
+			screenFlags{topK: *scTopK, uncertain: *scUnc, critical: *scCrit}.options(model), *workers)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		runner.SetScreen(sc)
+	}
+
 	var report *benchReport
-	if *benchOut != "" {
+	switch {
+	case sc != nil:
+		runner.Prewarm(sc.Promoted(plan), *workers)
+	case *benchOut != "":
 		report = benchmarkSweep(runner, opts, plan, *workers, stderr)
-	} else {
+	default:
 		runner.Prewarm(plan, *workers)
 	}
 
@@ -171,6 +220,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	var tables []harness.Table
 	for _, e := range selected {
 		t := e.Build(runner)
+		if *asJSON {
+			tables = append(tables, t)
+		} else {
+			t.Render(w)
+		}
+	}
+	if sc != nil {
+		t := sc.Table()
 		if *asJSON {
 			tables = append(tables, t)
 		} else {
@@ -285,8 +342,12 @@ type benchSampleMode struct {
 	DetailedUops uint64 `json:"detailed_uops"`
 	// Phases is the largest per-run phase count the clustering chose
 	// (phase mode only).
-	Phases           int     `json:"phases,omitempty"`
-	WallSec          float64 `json:"wall_sec"`
+	Phases  int     `json:"phases,omitempty"`
+	WallSec float64 `json:"wall_sec"`
+	// ProfileWallSec is the share of WallSec spent in interpreter-speed
+	// profiling (the BBV pass of phase mode) — the planning overhead the
+	// placement quality is bought with. Zero in even mode.
+	ProfileWallSec   float64 `json:"profile_wall_sec"`
 	MaxIPCRelErrPct  float64 `json:"max_ipc_rel_err_pct"`
 	MeanIPCRelErrPct float64 `json:"mean_ipc_rel_err_pct"`
 }
@@ -364,7 +425,7 @@ func ipcError(runner, ref *harness.Runner, plan []harness.PlannedRun) (maxE, mea
 
 // modeSummary condenses one sampling mode's accuracy and cost over the plan.
 func modeSummary(runner, ref *harness.Runner, plan []harness.PlannedRun, wallSec float64) benchSampleMode {
-	sm := benchSampleMode{WallSec: wallSec}
+	sm := benchSampleMode{WallSec: wallSec, ProfileWallSec: runner.ProfileWallSec()}
 	sm.MaxIPCRelErrPct, sm.MeanIPCRelErrPct = ipcError(runner, ref, plan)
 	for _, pr := range plan {
 		if si := runner.Result(pr.Bench, pr.Config).Sampling; si != nil {

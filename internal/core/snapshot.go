@@ -28,6 +28,20 @@ func NewPlaceholderStats() *Stats {
 	return st
 }
 
+// NewTwinStats returns a Stats carrying an analytical-twin prediction: the
+// predicted cycle count, the committed-uop count the prediction covers, and
+// a CPI stack whose buckets the caller has already scaled to sum to cycles.
+// Histograms are allocated but empty — the twin does not predict
+// distributions. The stat-ownership rule keeps these writes inside the core
+// package.
+func NewTwinStats(cycles int64, committed uint64, cpi [NumCPIBuckets]int64) *Stats {
+	st := newStats()
+	st.Cycles = cycles
+	st.Committed = committed
+	st.CPIStack = cpi
+	return st
+}
+
 // SnapshotTo serializes every counter by reflection in declaration order,
 // with the field name on the wire: a restore into a build whose Stats struct
 // drifted fails on the first mismatched name instead of silently shearing
@@ -178,14 +192,20 @@ func (s *Stats) MergeScaled(o *Stats, num, den uint64) {
 // first: they differ only in simulator speed or observability, never in
 // simulated behavior, so snapshots taken under any combination interoperate
 // (and the equivalence tests compare digests across them directly).
-func (c *Core) configFingerprint() uint64 {
-	cfg := c.cfg
+func configFingerprint(cfg Config) uint64 {
 	cfg.Scheduler = SchedEvent
 	cfg.ClockMode = ClockWarp
 	cfg.Mem.DRAM.Reference = false
 	cfg.FlightRecorderEvents = 0
 	return snapshot.HashString(fmt.Sprintf("%+v", cfg))
 }
+
+// ConfigFingerprint is the exported form of the snapshot configuration
+// digest: two configurations share a fingerprint exactly when they simulate
+// identically. The analytical twin keys its calibration artifacts on it, so
+// a coefficient set fitted against one machine can never be silently applied
+// to another.
+func ConfigFingerprint(cfg Config) uint64 { return configFingerprint(cfg) }
 
 // Snapshot serializes the whole machine into a self-verifying container. The
 // core must be quiesced (call Drain first); dependence-walk instrumentation
@@ -231,7 +251,7 @@ func (c *Core) SnapshotCoreTo(w *snapshot.Writer) error {
 
 func (c *Core) snapshotCoreTo(w *snapshot.Writer) error {
 	w.Mark("core")
-	w.U64(c.configFingerprint())
+	w.U64(configFingerprint(c.cfg))
 	w.Str(c.p.Name)
 	w.Int(c.p.NumUops())
 	w.U64(c.p.TextDigest())
@@ -375,8 +395,8 @@ func (c *Core) RestoreCoreFrom(r *snapshot.Reader) error {
 
 func (c *Core) restoreCoreFrom(r *snapshot.Reader) error {
 	r.Expect("core")
-	if fp := r.U64(); r.Err() == nil && fp != c.configFingerprint() {
-		r.Failf("core: snapshot was taken under a different configuration (fingerprint %#x, this core %#x)", fp, c.configFingerprint())
+	if fp := r.U64(); r.Err() == nil && fp != configFingerprint(c.cfg) {
+		r.Failf("core: snapshot was taken under a different configuration (fingerprint %#x, this core %#x)", fp, configFingerprint(c.cfg))
 	}
 	if name := r.Str(); r.Err() == nil && name != c.p.Name {
 		r.Failf("core: snapshot is of program %q, this core runs %q", name, c.p.Name)

@@ -101,6 +101,11 @@ type Result struct {
 	// runs): the mode, the detailed-uop cost, and — in phase mode — the
 	// phase structure and per-metric confidence intervals.
 	Sampling *SamplingInfo
+
+	// Provenance records how this result was produced: ProvenanceDetailed
+	// for simulator runs (full-detail or sampled), ProvenanceTwin for
+	// analytical-twin predictions under a screened sweep.
+	Provenance string
 }
 
 // Options tunes harness runs. MeasureUops trades fidelity for speed; the
@@ -180,6 +185,16 @@ type Runner struct {
 	mu       sync.Mutex
 	cache    map[string]*entry
 	mixCache map[string]*mixEntry
+	profiles map[string]*profEntry
+
+	// screen, when set (see SetScreen), routes non-promoted pairs to the
+	// analytical twin instead of the detailed simulator.
+	screen *Screen
+
+	// profileWallNanos accumulates wall time spent in interpreter-speed
+	// profiling passes (BBV phase profiling, twin profiling), read via
+	// ProfileWallSec. Accessed atomically.
+	profileWallNanos int64
 
 	// Planning mode (see Plan): Result records the requested pair and
 	// returns a placeholder instead of simulating.
@@ -206,11 +221,21 @@ func NewRunner(opts Options) *Runner {
 	if opts.MeasureUops == 0 {
 		opts.MeasureUops = DefaultOptions().MeasureUops
 	}
-	return &Runner{opts: opts, cache: make(map[string]*entry), mixCache: make(map[string]*mixEntry)}
+	return &Runner{
+		opts:     opts,
+		cache:    make(map[string]*entry),
+		mixCache: make(map[string]*mixEntry),
+		profiles: make(map[string]*profEntry),
+	}
 }
 
+// key builds the memo-cache key for one (benchmark, configuration) pair.
+// Every field is rendered explicitly — the mode as its numeric value, bools
+// as %t — so two distinct configurations can never collide through a shared
+// String() rendering (e.g. out-of-range modes both printing "unknown").
 func key(bench string, rc RunConfig) string {
-	return fmt.Sprintf("%s|%v|%v|%v|%v|%d|%d|%s", bench, rc.Mode, rc.Enhancements, rc.Prefetch, rc.DepTrack, rc.MaxChain, rc.CCEntries, rc.PFKind)
+	return fmt.Sprintf("%s|%d|%t|%t|%t|%d|%d|%s",
+		bench, uint8(rc.Mode), rc.Enhancements, rc.Prefetch, rc.DepTrack, rc.MaxChain, rc.CCEntries, rc.PFKind)
 }
 
 // Result runs (or returns the cached run of) one benchmark under one
@@ -325,11 +350,18 @@ func configFor(rc RunConfig) core.Config {
 	return cfg
 }
 
-// run simulates one (benchmark, configuration) pair, full-detail or sampled.
+// run simulates one (benchmark, configuration) pair — full-detail, sampled,
+// or (under an active screen, for non-promoted pairs) twin-predicted.
 func (r *Runner) run(bench string, rc RunConfig) *Result {
 	spec, ok := workload.SpecOf(bench)
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
+	}
+	r.mu.Lock()
+	sc := r.screen
+	r.mu.Unlock()
+	if sc != nil && !sc.WantsDetailed(bench, rc) {
+		return r.twinRun(sc, bench, rc)
 	}
 	label := rc.Label()
 	if r.opts.Progress != nil {
@@ -344,6 +376,7 @@ func (r *Runner) run(bench string, rc RunConfig) *Result {
 		if err != nil {
 			panic(fmt.Sprintf("harness: sampled run %s/%s: %v", bench, label, err))
 		}
+		res.Provenance = ProvenanceDetailed
 		return res
 	}
 	cfg := r.cfgFor(rc)
@@ -391,6 +424,7 @@ func (r *Runner) run(bench string, rc RunConfig) *Result {
 		Config:       rc,
 		Stats:        st,
 		Timeline:     tl,
+		Provenance:   ProvenanceDetailed,
 		Energy:       energy.Compute(energy.DefaultParams(), energy.Measure(c)),
 		IPC:          st.IPC(),
 		MPKI:         1000 * stats.Div(float64(c.Hierarchy().LLCDemandMisses), float64(st.Committed)),

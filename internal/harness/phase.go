@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"runaheadsim/internal/phases"
 	"runaheadsim/internal/prog"
@@ -120,6 +122,11 @@ func (r *Runner) profilePhases(bench, label string, p *prog.Program, full, measu
 		if rec := recover(); rec != nil {
 			pl, err = nil, fmt.Errorf("bbv profile: %v", rec)
 		}
+	}()
+	//simlint:allow determinism -- wall-clock timing is the measurement here, not simulated state
+	t0 := time.Now()
+	defer func() {
+		atomic.AddInt64(&r.profileWallNanos, int64(time.Since(t0)))
 	}()
 	w := so.bbvWindows()
 	if uint64(w) > measure {

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"runaheadsim/internal/workload"
+)
+
+// TestSensitivityBenchesKnown pins the sensitivity subset to real workloads:
+// a renamed benchmark would otherwise only fail deep inside a sweep.
+func TestSensitivityBenchesKnown(t *testing.T) {
+	for _, name := range sensitivityBenches {
+		if _, ok := workload.SpecOf(name); !ok {
+			t.Errorf("sensitivity bench %q is not a known workload", name)
+		}
+	}
+}
+
+// TestSensitivityConfigsDistinct checks the swept configurations are
+// distinguishable in the memo cache — a buffer-size or chain-cache override
+// that collapsed onto the stock BufferCC key would silently sweep nothing.
+func TestSensitivityConfigsDistinct(t *testing.T) {
+	seen := map[string]string{key("mcf", BufferCC): "stock BufferCC"}
+	for _, size := range []int{8, 16, 32, 64, 128} {
+		rc := BufferCC
+		rc.MaxChain = size
+		k := key("mcf", rc)
+		label := fmt.Sprintf("MaxChain=%d", size)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s shares a cache key with %s", label, prev)
+		}
+		seen[k] = label
+	}
+	for _, size := range []int{1, 2, 4, 8} {
+		rc := BufferCC
+		rc.CCEntries = size
+		k := key("mcf", rc)
+		label := fmt.Sprintf("CCEntries=%d", size)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s shares a cache key with %s", label, prev)
+		}
+		seen[k] = label
+	}
+}
+
+// checkPctTable asserts every data cell parses as the pct() rendering and
+// that the table closes with a GMean row.
+func checkPctTable(t *testing.T, tb Table, skipCols int) {
+	t.Helper()
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: no rows", tb.ID)
+	}
+	if got := tb.Rows[len(tb.Rows)-1][0]; got != "GMean" {
+		t.Fatalf("%s: last row is %q, want GMean", tb.ID, got)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("%s: row %v has %d cells, want %d", tb.ID, row, len(row), len(tb.Columns))
+		}
+		for _, cell := range row[skipCols:] {
+			if cell == "" {
+				continue // the GMean row leaves non-pct columns blank
+			}
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%f%%", &v); err != nil {
+				t.Fatalf("%s: unparseable cell %q in row %v", tb.ID, cell, row)
+			}
+		}
+	}
+}
+
+// TestSensBufferSizeShape runs the buffer-size sweep on a reduced set and
+// checks its structure: one column per swept size, one row per bench plus
+// the GMean row, every cell a percentage.
+func TestSensBufferSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{MeasureUops: 8_000, WarmupUops: 8_000, Benchmarks: []string{"mcf", "zeusmp"}})
+	tb := SensBufferSize(r)
+	wantCols := []string{"Benchmark", "8", "16", "32", "64", "128"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("sens-buffer columns = %v, want %v", tb.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if tb.Columns[i] != c {
+			t.Fatalf("sens-buffer columns = %v, want %v", tb.Columns, wantCols)
+		}
+	}
+	if len(tb.Rows) != 3 { // two benches + GMean
+		t.Fatalf("sens-buffer rows = %d, want 3", len(tb.Rows))
+	}
+	checkPctTable(t, tb, 1)
+}
+
+// TestSensChainCacheShape does the same for the chain-cache sweep.
+func TestSensChainCacheShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{MeasureUops: 8_000, WarmupUops: 8_000, Benchmarks: []string{"mcf", "zeusmp"}})
+	tb := SensChainCache(r)
+	wantCols := []string{"Benchmark", "1", "2", "4", "8"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("sens-chaincache columns = %v, want %v", tb.Columns, wantCols)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("sens-chaincache rows = %d, want 3", len(tb.Rows))
+	}
+	checkPctTable(t, tb, 1)
+}
+
+// TestExtAdaptiveShape checks the adaptive-extension table: the demotions
+// column is a raw count (not a percentage) and the GMean row leaves it
+// blank.
+func TestExtAdaptiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := NewRunner(Options{MeasureUops: 8_000, WarmupUops: 8_000, Benchmarks: []string{"mcf", "zeusmp"}})
+	tb := ExtAdaptive(r)
+	wantCols := []string{"Benchmark", "Hybrid", "Adaptive", "Demotions"}
+	if len(tb.Columns) != len(wantCols) {
+		t.Fatalf("ext-adaptive columns = %v, want %v", tb.Columns, wantCols)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("ext-adaptive rows = %d, want 3", len(tb.Rows))
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "GMean" || last[len(last)-1] != "" {
+		t.Fatalf("ext-adaptive GMean row = %v, want trailing blank demotions cell", last)
+	}
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		var n int
+		if _, err := fmt.Sscanf(row[len(row)-1], "%d", &n); err != nil || n < 0 {
+			t.Fatalf("ext-adaptive demotions cell %q is not a count", row[len(row)-1])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package prog
+
+import "runaheadsim/internal/isa"
+
+// Profile accumulates the architectural mix of an interpreted uop stream:
+// the instruction-class counts every first-order performance model starts
+// from. It is filled by RunProfile at interpreter speed — no pipeline, no
+// timing — so a profile costs microseconds per million uops.
+type Profile struct {
+	Uops   uint64
+	Loads  uint64
+	Stores uint64
+
+	Branches      uint64 // all control uops
+	CondBranches  uint64
+	TakenBranches uint64 // taken control uops (conditional or not)
+
+	// LongLatUops counts non-memory uops whose execution latency exceeds one
+	// cycle (multiplies, divides, floating point); ExecLatCycles sums their
+	// latencies. Together they bound the execution-latency component of a
+	// dataflow-limited region.
+	LongLatUops   uint64
+	ExecLatCycles uint64
+}
+
+// Add accumulates o into p.
+func (p *Profile) Add(o *Profile) {
+	p.Uops += o.Uops
+	p.Loads += o.Loads
+	p.Stores += o.Stores
+	p.Branches += o.Branches
+	p.CondBranches += o.CondBranches
+	p.TakenBranches += o.TakenBranches
+	p.LongLatUops += o.LongLatUops
+	p.ExecLatCycles += o.ExecLatCycles
+}
+
+func (p *Profile) note(u *isa.Uop, e Exec) {
+	p.Uops++
+	switch {
+	case u.Op.IsLoad():
+		p.Loads++
+	case u.Op.IsStore():
+		p.Stores++
+	case u.Op.IsBranch():
+		p.Branches++
+		if u.Op.IsConditional() {
+			p.CondBranches++
+		}
+		if e.Taken {
+			p.TakenBranches++
+		}
+	default:
+		if lat := u.Op.ExecLatency(); lat > 1 {
+			p.LongLatUops++
+			p.ExecLatCycles += uint64(lat)
+		}
+	}
+}
+
+// RunProfile executes n uops like Run while accumulating prof and invoking
+// hook (when non-nil) for every executed uop with the static uop and its
+// architectural effects. Callers layer functional models — caches, branch
+// predictors, dataflow schedules — on top of the hook; the architectural
+// outcome is identical to Run(n).
+func (in *Interp) RunProfile(n uint64, prof *Profile, hook func(u *isa.Uop, e Exec)) {
+	for i := uint64(0); i < n; i++ {
+		u := &in.P.Uops[in.pc]
+		e := in.Step()
+		prof.note(u, e)
+		if hook != nil {
+			hook(u, e)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package prog
+
+import (
+	"testing"
+
+	"runaheadsim/internal/isa"
+)
+
+// TestRunProfileMatchesRun checks that profiling is architecturally
+// transparent: RunProfile leaves the interpreter in exactly the state Run
+// does, and the counts agree with an independent per-step classification.
+func TestRunProfileMatchesRun(t *testing.T) {
+	const n = 200
+	p, _ := sumProgram(t, 10)
+
+	ref := NewInterp(p)
+	ref.Run(n)
+
+	in := NewInterp(p)
+	var prof Profile
+	in.RunProfile(n, &prof, nil)
+
+	if in.pc != ref.pc || in.count != ref.count || in.Regs != ref.Regs {
+		t.Fatalf("RunProfile diverged from Run: pc %d vs %d, count %d vs %d",
+			in.pc, ref.pc, in.count, ref.count)
+	}
+
+	// Recount by stepping a third interpreter.
+	chk := NewInterp(p)
+	var want Profile
+	for i := 0; i < n; i++ {
+		u := &p.Uops[chk.pc]
+		e := chk.Step()
+		switch {
+		case u.Op.IsLoad():
+			want.Loads++
+		case u.Op.IsStore():
+			want.Stores++
+		case u.Op.IsBranch():
+			want.Branches++
+			if u.Op.IsConditional() {
+				want.CondBranches++
+			}
+			if e.Taken {
+				want.TakenBranches++
+			}
+		}
+		want.Uops++
+	}
+	if prof.Uops != want.Uops || prof.Loads != want.Loads || prof.Stores != want.Stores ||
+		prof.Branches != want.Branches || prof.CondBranches != want.CondBranches ||
+		prof.TakenBranches != want.TakenBranches {
+		t.Fatalf("profile %+v, want (ignoring latency fields) %+v", prof, want)
+	}
+	if prof.Loads == 0 || prof.Branches == 0 || prof.Stores == 0 {
+		t.Fatalf("sum program should exercise loads, stores and branches: %+v", prof)
+	}
+}
+
+// TestRunProfileHook checks the hook sees every uop with its effects, in
+// order, and that latency-class counting covers long-latency ALU ops.
+func TestRunProfileHook(t *testing.T) {
+	b := NewBuilder("longlat")
+	e := b.Block("e")
+	e.Movi(1, 7).Movi(2, 3).Op(isa.MUL, 3, 1, 2).Op(isa.DIV, 4, 1, 2).Jmp(e)
+	p := b.MustBuild()
+
+	in := NewInterp(p)
+	var prof Profile
+	var seen []isa.Opcode
+	in.RunProfile(5, &prof, func(u *isa.Uop, ex Exec) {
+		seen = append(seen, u.Op)
+		if u.Op == isa.MUL && ex.Value != 21 {
+			t.Fatalf("MUL hook value = %d, want 21", ex.Value)
+		}
+	})
+	if len(seen) != 5 {
+		t.Fatalf("hook saw %d uops, want 5", len(seen))
+	}
+	if prof.LongLatUops != 2 { // MUL + DIV
+		t.Fatalf("LongLatUops = %d, want 2", prof.LongLatUops)
+	}
+	wantLat := uint64(isa.MUL.ExecLatency() + isa.DIV.ExecLatency())
+	if prof.ExecLatCycles != wantLat {
+		t.Fatalf("ExecLatCycles = %d, want %d", prof.ExecLatCycles, wantLat)
+	}
+
+	// Add must accumulate every field.
+	var sum Profile
+	sum.Add(&prof)
+	sum.Add(&prof)
+	if sum.Uops != 2*prof.Uops || sum.ExecLatCycles != 2*prof.ExecLatCycles {
+		t.Fatalf("Add: %+v not double of %+v", sum, prof)
+	}
+}

@@ -1,0 +1,185 @@
+package twin
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"runaheadsim/internal/core"
+	"runaheadsim/internal/workload"
+)
+
+func testMachine() Machine { return MachineFrom(core.DefaultConfig()) }
+
+// TestBuildProfileDeterministic: two passes over the same workload must be
+// byte-for-byte identical — the profile feeds a memoized, provenance-tagged
+// result cache, so any nondeterminism would poison sweeps.
+func TestBuildProfileDeterministic(t *testing.T) {
+	p := workload.MustLoad("mcf")
+	m := testMachine()
+	a := BuildProfile("mcf", p, m, 20_000, 30_000)
+	b := BuildProfile("mcf", p, m, 20_000, 30_000)
+	if *a != *b {
+		t.Fatalf("profiles differ:\n%+v\n%+v", a, b)
+	}
+	if a.Prof.Uops != 30_000 {
+		t.Fatalf("measured uops = %d, want 30000", a.Prof.Uops)
+	}
+	if a.DRAMLoads == 0 || a.Clusters == 0 {
+		t.Fatalf("mcf should miss to DRAM in the measured window: %+v", a)
+	}
+	if a.Clusters > a.DRAMLoads {
+		t.Fatalf("clusters (%d) cannot exceed DRAM misses (%d)", a.Clusters, a.DRAMLoads)
+	}
+	if a.CPFull < a.CPNoDRAM {
+		t.Fatalf("full critical path (%d) below DRAM-capped one (%d)", a.CPFull, a.CPNoDRAM)
+	}
+}
+
+// TestProfileSeparatesWorkloads: a pointer chase must show serialized DRAM
+// behavior (critical path dominated by misses), a streaming kernel must
+// show clustered-but-parallel misses, and a cache-resident kernel must show
+// none. These contrasts are what the model's features discriminate on.
+func TestProfileSeparatesWorkloads(t *testing.T) {
+	m := testMachine()
+	chase := BuildProfile("mcf", workload.MustLoad("mcf"), m, 100_000, 50_000)
+	resident := BuildProfile("calculix", workload.MustLoad("calculix"), m, 100_000, 50_000)
+
+	if resident.DRAMLoads*100 > chase.DRAMLoads {
+		t.Fatalf("cache-resident kernel misses too much: %d vs chase %d",
+			resident.DRAMLoads, chase.DRAMLoads)
+	}
+	if chase.CPFull-chase.CPNoDRAM == 0 {
+		t.Fatalf("pointer chase shows no serialized DRAM critical path: %+v", chase)
+	}
+}
+
+// synthPoints builds a set of points whose detailed targets are an exact
+// linear function of the features, so the fit must recover near-zero error.
+func synthPoints() []Point {
+	theta := make([]float64, NumFeatures)
+	theta[FIdeal], theta[FTaken], theta[FMispred] = 1.1, 0.5, 0.9
+	theta[FLLC], theta[FDRAM], theta[FDRAMSerial] = 0.3, 1.0, 0.8
+	theta[FCov], theta[FRAOver], theta[FBias] = -0.6, 12, 0.02
+	etheta := make([]float64, NumEnergyFeatures)
+	etheta[EUops], etheta[ECycles], etheta[EDRAM] = 0.0002, 0.0001, 0.0004
+
+	var pts []Point
+	benches := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w9", "wa", "wb"}
+	for bi, bench := range benches {
+		for _, mode := range []core.Mode{core.ModeNone, core.ModeBuffer} {
+			x := make([]float64, NumFeatures)
+			uops := 100_000 + 1000*float64(bi)
+			x[FIdeal] = uops/4 + 500*float64(bi%5)
+			x[FTaken] = 8000 + 300*float64(bi)
+			x[FMispred] = 700 * float64(bi%4)
+			x[FLLC] = 900 * float64((bi+2)%5)
+			x[FDRAM] = 12500 * float64(bi%6)
+			x[FDRAMSerial] = 4000 * float64(bi%3)
+			if mode != core.ModeNone {
+				x[FCov] = 0.7 * x[FDRAM]
+				x[FRAOver] = x[FDRAM] / 125
+			}
+			x[FBias] = uops / 1000
+			var y float64
+			for j := range x {
+				y += theta[j] * x[j]
+			}
+			ex := make([]float64, NumEnergyFeatures)
+			ex[EUops], ex[EDRAM] = uops, x[FDRAM]/125
+			var e float64
+			for j := range ex {
+				e += etheta[j] * ex[j]
+			}
+			e += etheta[ECycles] * y
+			pts = append(pts, Point{
+				Bench: bench, Class: "high", Mode: mode,
+				X: x, EX: ex, Uops: uint64(uops), DRAMLoads: uint64(x[FDRAM] / 125),
+				DetCycles: y, DetIPC: uops / y, DetEnergyUJ: e,
+			})
+		}
+	}
+	return pts
+}
+
+// TestFitRecoversLinearModel: on exactly-linear synthetic data the fit must
+// interpolate (tiny MAPE, r ≈ 1), proving the regression machinery.
+func TestFitRecoversLinearModel(t *testing.T) {
+	pts := synthPoints()
+	m, err := Fit(pts, testMachine(), 0xabcd, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scores.MAPEPct > 0.5 {
+		t.Fatalf("MAPE %.3f%% on exactly-linear data, want < 0.5%%", m.Scores.MAPEPct)
+	}
+	if m.Scores.PearsonR < 0.999 {
+		t.Fatalf("Pearson r %.5f on exactly-linear data, want ~1", m.Scores.PearsonR)
+	}
+	if m.Scores.EnergyMAPEPct > 1 {
+		t.Fatalf("energy MAPE %.3f%%, want < 1%%", m.Scores.EnergyMAPEPct)
+	}
+	// CPI stack of any prediction must sum to the predicted cycles.
+	pred, err := m.Predict(pts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range pred.CPI {
+		sum += v
+	}
+	if sum != pred.Cycles {
+		t.Fatalf("CPI stack sums to %d, cycles %d", sum, pred.Cycles)
+	}
+	if pred.IPC <= 0 {
+		t.Fatalf("nonpositive IPC %f", pred.IPC)
+	}
+}
+
+// TestPredictModeFallback: a mode absent from calibration resolves to the
+// nearest calibrated mechanism instead of failing.
+func TestPredictModeFallback(t *testing.T) {
+	m, err := Fit(synthPoints(), testMachine(), 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := synthPoints()[1] // ModeBuffer point
+	pt.Mode = core.ModeAdaptive
+	if _, err := m.Predict(pt); err != nil {
+		t.Fatalf("adaptive mode should fall back to a buffer-mode group: %v", err)
+	}
+	pt.Class = "low" // unseen class group pools to "all"/exact-mode fallback
+	if _, err := m.Predict(pt); err != nil {
+		t.Fatalf("unseen class group should still resolve: %v", err)
+	}
+}
+
+// TestArtifactRoundTrip: save/load must preserve the model and enforce the
+// version/fingerprint contract.
+func TestArtifactRoundTrip(t *testing.T) {
+	m, err := Fit(synthPoints(), testMachine(), 0xfeedbeef, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "twin.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, 0xfeedbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != m.Fingerprint || len(got.Groups) != len(m.Groups) {
+		t.Fatalf("round trip mangled the model: %+v", got)
+	}
+	for i := range got.Groups {
+		for j := range got.Groups[i].Theta {
+			if math.Abs(got.Groups[i].Theta[j]-m.Groups[i].Theta[j]) > 1e-12 {
+				t.Fatalf("theta[%d][%d] drifted across the round trip", i, j)
+			}
+		}
+	}
+	if _, err := Load(path, 0xdeadbeef); err == nil {
+		t.Fatal("fingerprint mismatch must refuse to load")
+	}
+}
